@@ -1,0 +1,3 @@
+module timr
+
+go 1.22

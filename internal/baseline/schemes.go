@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"timr/internal/ml"
+)
+
+// Scheme is a data-reduction strategy applied to UBP feature vectors
+// before model training/scoring — the axis of comparison in the paper's
+// Figures 20–23.
+type Scheme interface {
+	Name() string
+	// Transform rewrites a sparse feature vector into the scheme's
+	// reduced feature space.
+	Transform(fs []ml.Feature) []ml.Feature
+	// Dims is the dimensionality of the reduced space (retained keywords
+	// or category count).
+	Dims() int
+}
+
+// TransformExamples applies a scheme to every example.
+func TransformExamples(s Scheme, examples []ml.Example) []ml.Example {
+	out := make([]ml.Example, len(examples))
+	for i, e := range examples {
+		out[i] = ml.Example{Features: s.Transform(e.Features), Clicked: e.Clicked}
+	}
+	return out
+}
+
+// ---- Identity (no reduction) ----
+
+type identity struct{}
+
+// Identity is the no-reduction scheme (the paper's "All" rows).
+func Identity() Scheme { return identity{} }
+
+func (identity) Name() string { return "None" }
+func (identity) Transform(fs []ml.Feature) []ml.Feature {
+	return fs
+}
+func (identity) Dims() int { return -1 }
+
+// ---- KE-z: keyword elimination by z-score (the paper's contribution) ----
+
+type kez struct {
+	keep   map[int64]bool
+	thresh float64
+}
+
+// NewKEZ retains keywords whose |z| meets the threshold. scores maps
+// keyword id to its z-score for the ad class under study (keywords
+// without a score were unsupported and are dropped).
+func NewKEZ(scores map[int64]float64, thresh float64) Scheme {
+	keep := make(map[int64]bool)
+	for kw, z := range scores {
+		if z >= thresh || z <= -thresh {
+			keep[kw] = true
+		}
+	}
+	return &kez{keep: keep, thresh: thresh}
+}
+
+func (k *kez) Name() string { return fmt.Sprintf("KE-%.2f", k.thresh) }
+func (k *kez) Transform(fs []ml.Feature) []ml.Feature {
+	var out []ml.Feature
+	for _, f := range fs {
+		if k.keep[f.ID] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+func (k *kez) Dims() int { return len(k.keep) }
+
+// ---- KE-pop: popularity-based selection (Chen et al. [7]) ----
+
+type kepop struct {
+	keep map[int64]bool
+	n    int
+}
+
+// NewKEPop retains the topN keywords by popularity — "the most popular
+// keywords in terms of total ad clicks or rejects with that keyword in
+// the user history" — which famously keeps google/facebook/msn while
+// missing the predictive tail (§V-C).
+func NewKEPop(popularity map[int64]int64, topN int) Scheme {
+	type kv struct {
+		kw  int64
+		pop int64
+	}
+	all := make([]kv, 0, len(popularity))
+	for kw, p := range popularity {
+		all = append(all, kv{kw, p})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pop != all[j].pop {
+			return all[i].pop > all[j].pop
+		}
+		return all[i].kw < all[j].kw
+	})
+	if topN > len(all) {
+		topN = len(all)
+	}
+	keep := make(map[int64]bool, topN)
+	for _, e := range all[:topN] {
+		keep[e.kw] = true
+	}
+	return &kepop{keep: keep, n: topN}
+}
+
+func (k *kepop) Name() string { return fmt.Sprintf("KE-pop(%d)", k.n) }
+func (k *kepop) Transform(fs []ml.Feature) []ml.Feature {
+	var out []ml.Feature
+	for _, f := range fs {
+		if k.keep[f.ID] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+func (k *kepop) Dims() int { return len(k.keep) }
+
+// ---- F-Ex: static feature extraction into a concept hierarchy ----
+
+// CategoryBase offsets category feature ids above keyword and ad ids.
+const CategoryBase int64 = 1 << 41
+
+type fex struct {
+	cats int
+}
+
+// NewFEx maps every keyword to 1–3 of cats categories via a fixed hash —
+// a stand-in for the production content-categorization engine over an
+// ODP-like hierarchy ("this number is always around 2000 due to the
+// static mapping to a pre-defined concept hierarchy", §V-C). The mapping
+// is data-independent, which is precisely its weakness: it cannot adapt
+// to new keywords or interest variations.
+func NewFEx(cats int) Scheme {
+	if cats <= 0 {
+		cats = 2000
+	}
+	return &fex{cats: cats}
+}
+
+func (f *fex) Name() string { return "F-Ex" }
+
+// categoriesOf deterministically assigns a keyword its 1-3 categories.
+func (f *fex) categoriesOf(kw int64) []int64 {
+	h := uint64(kw)*2654435761 + 0x9e3779b97f4a7c15
+	n := int(h%3) + 1
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		h = h*6364136223846793005 + 1442695040888963407
+		out = append(out, CategoryBase+int64(h%uint64(f.cats)))
+	}
+	return out
+}
+
+func (f *fex) Transform(fs []ml.Feature) []ml.Feature {
+	var out []ml.Feature
+	for _, kf := range fs {
+		for _, cat := range f.categoriesOf(kf.ID) {
+			out = append(out, ml.Feature{ID: cat, Val: kf.Val})
+		}
+	}
+	return ml.SortFeatures(out)
+}
+func (f *fex) Dims() int { return f.cats }

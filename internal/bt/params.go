@@ -1,0 +1,99 @@
+// Package bt implements the paper's end-to-end behavioral-targeting
+// solution (§IV) as a set of declarative temporal queries over the
+// unified schema of Figure 9 — the "20 temporal queries" of Figure 14.
+// The same plans run single-node over live feeds (examples/realtime) and
+// scale over offline logs through TiMR (internal/core).
+//
+// Pipeline phases (paper Figure 10):
+//
+//	BotElim        events  → clean      (Figure 11)
+//	Label          clean   → labeled    (clicks + detected non-clicks)
+//	TrainData      labeled + clean → train  (per-impression sparse UBPs, Figure 12)
+//	FeatureSelect  labeled + train → scores (two-proportion z-test, Figure 13)
+//	Reduce         train + scores  → reduced training data
+//	Model          reduced → per-ad LR models (windowed UDO, §IV-B.4)
+package bt
+
+import "timr/internal/temporal"
+
+// Params are the knobs of the BT pipeline, defaulted to the paper's
+// values.
+type Params struct {
+	// Bot elimination (§IV-B.1): a user clicking more than T1 ads or
+	// searching more than T2 keywords within Tau is a bot. The bot list
+	// refreshes every BotHop ("updates the bot list every 15 mins using
+	// data from a 6 hour window").
+	T1, T2 int64
+	BotHop temporal.Time
+
+	// Tau is the UBP history window τ (§IV-A: "we use τ = 6 hours").
+	Tau temporal.Time
+
+	// D is the non-click detection window d: an impression not followed
+	// by a click within D is a non-click (§IV-B.2, d = 5 minutes).
+	D temporal.Time
+
+	// TrainPeriod is the interval over which keyword elimination and
+	// model fitting aggregate (the feature-selection window "covering the
+	// time interval over which we perform keyword elimination").
+	TrainPeriod temporal.Time
+
+	// ZThreshold keeps keywords with |z| >= threshold (0 keeps every
+	// keyword with sufficient support — the paper's KE-0).
+	ZThreshold float64
+
+	// ModelEpochs bounds the LR iterations inside the model UDO.
+	ModelEpochs int
+}
+
+// DefaultParams mirrors the paper: T1 = T2 = 100 per 6-hour window,
+// 15-minute bot-list refresh, τ = 6h, d = 5min, z at 80% confidence.
+func DefaultParams() Params {
+	return Params{
+		T1: 100, T2: 100,
+		BotHop:      15 * temporal.Minute,
+		Tau:         6 * temporal.Hour,
+		D:           5 * temporal.Minute,
+		TrainPeriod: 84 * temporal.Hour, // half of a 7-day log
+		ZThreshold:  1.28,               // 80% confidence
+		ModelEpochs: 30,
+	}
+}
+
+// Schemas of the pipeline's intermediate streams. Every dataset keeps a
+// leading Time column so each phase can be run as its own TiMR job over
+// point events (paper §III-C: "The first column in source, intermediate,
+// and output data files is constrained to be Time").
+var (
+	// LabeledSchema: one row per impression with its outcome.
+	LabeledSchema = temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "UserId", Kind: temporal.KindInt},
+		temporal.Field{Name: "AdId", Kind: temporal.KindInt},
+		temporal.Field{Name: "Clicked", Kind: temporal.KindInt},
+	)
+
+	// TrainSchema: the sparse training rows — one per (impression,
+	// profile keyword) pair, carrying the keyword's in-window count.
+	TrainSchema = temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "UserId", Kind: temporal.KindInt},
+		temporal.Field{Name: "AdId", Kind: temporal.KindInt},
+		temporal.Field{Name: "Clicked", Kind: temporal.KindInt},
+		temporal.Field{Name: "Keyword", Kind: temporal.KindInt},
+		temporal.Field{Name: "KwCount", Kind: temporal.KindInt},
+	)
+
+	// ScoreSchema: one row per retained (ad, keyword) with its z-score.
+	ScoreSchema = temporal.NewSchema(
+		temporal.Field{Name: "AdId", Kind: temporal.KindInt},
+		temporal.Field{Name: "Keyword", Kind: temporal.KindInt},
+		temporal.Field{Name: "Z", Kind: temporal.KindFloat},
+	)
+
+	// ModelSchema: serialized per-ad LR models.
+	ModelSchema = temporal.NewSchema(
+		temporal.Field{Name: "AdId", Kind: temporal.KindInt},
+		temporal.Field{Name: "Model", Kind: temporal.KindString},
+	)
+)

@@ -1,0 +1,151 @@
+package bt
+
+import (
+	"fmt"
+	"time"
+
+	"timr/internal/core"
+	"timr/internal/mapreduce"
+	"timr/internal/temporal"
+)
+
+// Dataset names produced by the pipeline in the cluster FS.
+const (
+	DSClean       = "bt.clean"
+	DSLabeled     = "bt.labeled"
+	DSTrain       = "bt.train"
+	DSScores      = "bt.scores"
+	DSReduced     = "bt.reduced"
+	DSModels      = "bt.models"
+	DSPredictions = "bt.predictions"
+)
+
+// PhaseResult records one phase's execution.
+type PhaseResult struct {
+	Name     string
+	Output   string
+	Rows     int
+	Stat     *mapreduce.JobStat
+	Duration time.Duration
+}
+
+// Pipeline runs the end-to-end BT solution (paper Figure 10) as a chain
+// of TiMR jobs, one per phase, each a handful of declarative temporal
+// queries.
+type Pipeline struct {
+	P Params
+	T *core.TiMR
+	// Naive switches TrainData to the strawman {UserId,Keyword} plan of
+	// Example 3 (used by the fragment-optimization experiment).
+	Naive bool
+
+	Phases []PhaseResult
+}
+
+// NewPipeline builds a pipeline over a TiMR instance.
+func NewPipeline(p Params, t *core.TiMR) *Pipeline {
+	return &Pipeline{P: p, T: t}
+}
+
+// Run executes every phase over the events dataset already in the FS.
+func (pl *Pipeline) Run(eventsDataset string) error {
+	type phase struct {
+		name    string
+		plan    *temporal.Plan
+		sources map[string]string
+		output  string
+	}
+	trainPlan := TrainDataPlan(pl.P, true)
+	if pl.Naive {
+		trainPlan = NaiveTrainDataPlan(pl.P)
+	}
+	phases := []phase{
+		{"BotElim", BotElimPlan(pl.P, true), map[string]string{SourceEvents: eventsDataset}, DSClean},
+		{"Label", LabelPlan(pl.P, true), map[string]string{SourceClean: DSClean}, DSLabeled},
+		{"TrainData", trainPlan, map[string]string{SourceLabeled: DSLabeled, SourceClean: DSClean}, DSTrain},
+		{"FeatureSelect", FeatureSelectPlan(pl.P, true), map[string]string{SourceLabeled: DSLabeled, SourceTrain: DSTrain}, DSScores},
+		{"Reduce", ReducePlan(pl.P, true), map[string]string{SourceTrain: DSTrain, SourceScores: DSScores}, DSReduced},
+		{"Model", ModelPlan(pl.P, true), map[string]string{SourceReduced: DSReduced}, DSModels},
+		// Scoring closes the M3 loop: each period's impressions are
+		// scored by the model learned from the previous period (a row at
+		// time t joins the model valid at t).
+		{"Score", ScorePlan(pl.P, true), map[string]string{SourceReduced: DSReduced, SourceModels: DSModels}, DSPredictions},
+	}
+	pl.Phases = pl.Phases[:0]
+	for _, ph := range phases {
+		start := time.Now()
+		stat, err := pl.T.Run(ph.plan, ph.sources, ph.output)
+		if err != nil {
+			return fmt.Errorf("bt: phase %s: %w", ph.name, err)
+		}
+		ds, err := pl.T.Cluster.FS.Read(ph.output)
+		if err != nil {
+			return fmt.Errorf("bt: phase %s output: %w", ph.name, err)
+		}
+		pl.Phases = append(pl.Phases, PhaseResult{
+			Name: ph.name, Output: ph.output, Rows: ds.Rows(),
+			Stat: stat, Duration: time.Since(start),
+		})
+	}
+	return nil
+}
+
+// Events reads a phase output as coalesced events.
+func (pl *Pipeline) Events(dataset string) ([]temporal.Event, error) {
+	return pl.T.ResultEvents(dataset)
+}
+
+// RunSingleNode executes the same phases on one embedded engine, feeding
+// each phase's output events to the next — the configuration a real-time
+// deployment would use, and the reference the TiMR tests compare against.
+// It returns the coalesced output events of every phase keyed by dataset
+// name.
+func RunSingleNode(p Params, events []temporal.Event) (map[string][]temporal.Event, error) {
+	out := make(map[string][]temporal.Event)
+	run := func(plan *temporal.Plan, inputs map[string][]temporal.Event, name string) ([]temporal.Event, error) {
+		evs, err := temporal.RunPlan(plan, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("bt: single-node %s: %w", name, err)
+		}
+		out[name] = evs
+		return evs, nil
+	}
+	clean, err := run(BotElimPlan(p, false), map[string][]temporal.Event{SourceEvents: events}, DSClean)
+	if err != nil {
+		return nil, err
+	}
+	labeled, err := run(LabelPlan(p, false), map[string][]temporal.Event{SourceClean: clean}, DSLabeled)
+	if err != nil {
+		return nil, err
+	}
+	train, err := run(TrainDataPlan(p, false), map[string][]temporal.Event{
+		SourceLabeled: labeled, SourceClean: clean,
+	}, DSTrain)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := run(FeatureSelectPlan(p, false), map[string][]temporal.Event{
+		SourceLabeled: labeled, SourceTrain: train,
+	}, DSScores)
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := run(ReducePlan(p, false), map[string][]temporal.Event{
+		SourceTrain: train, SourceScores: scores,
+	}, DSReduced)
+	if err != nil {
+		return nil, err
+	}
+	models, err := run(ModelPlan(p, false), map[string][]temporal.Event{
+		SourceReduced: reduced,
+	}, DSModels)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := run(ScorePlan(p, false), map[string][]temporal.Event{
+		SourceReduced: reduced, SourceModels: models,
+	}, DSPredictions); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

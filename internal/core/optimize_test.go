@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"timr/internal/mapreduce"
+	"timr/internal/temporal"
+)
+
+func trainSchema() *temporal.Schema {
+	return temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "UserId", Kind: temporal.KindInt},
+		temporal.Field{Name: "Keyword", Kind: temporal.KindInt},
+	)
+}
+
+// example3Plan is the shape of paper Example 3 / GenTrainData: O1 is a
+// GroupApply keyed {UserId, Keyword} (UBP counting), O2 a TemporalJoin
+// keyed {UserId}.
+func example3Plan() *temporal.Plan {
+	src := temporal.Scan("events", trainSchema())
+	ubp := src.GroupApply([]string{"UserId", "Keyword"}, func(g *temporal.Plan) *temporal.Plan {
+		return g.WithWindow(6 * temporal.Hour).Count("KwCount")
+	})
+	clicks := temporal.Scan("clicks", trainSchema())
+	return clicks.Join(ubp, []string{"UserId"}, []string{"UserId"}, nil)
+}
+
+func example3Stats() *Stats {
+	st := DefaultStats()
+	st.SourceRows["events"] = 10_000_000
+	st.SourceRows["clicks"] = 1_000_000
+	st.Distinct["UserId"] = 250_000_000
+	st.Distinct["Keyword"] = 50_000_000
+	st.Distinct["Keyword,UserId"] = 500_000_000
+	return st
+}
+
+func exchangeKeys(plan *temporal.Plan) []string {
+	var keys []string
+	plan.Walk(func(n *temporal.Plan) {
+		if n.Kind == temporal.OpExchange {
+			keys = append(keys, n.Part.String())
+		}
+	})
+	return keys
+}
+
+func TestOptimizerExample3PicksSingleUserIdPartitioning(t *testing.T) {
+	// Paper Example 3: partitioning once by {UserId} dominates the naive
+	// {UserId,Keyword}-then-{UserId} plan, because a {UserId} partitioning
+	// already implies a {UserId,Keyword} partitioning.
+	opt := NewOptimizer(example3Stats())
+	annotated, cost, err := opt.Optimize(example3Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := exchangeKeys(annotated)
+	if len(keys) != 2 {
+		t.Fatalf("want exactly 2 exchanges (one per source), got %v", keys)
+	}
+	for _, k := range keys {
+		if k != "{UserId}" {
+			t.Errorf("exchange key %s, want {UserId}", k)
+		}
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+}
+
+func TestOptimizerExample3CostOrdering(t *testing.T) {
+	// Price the naive annotated plan and verify it costs more than the
+	// optimizer's choice — the quantitative claim behind the 2.27x.
+	stats := example3Stats()
+	opt := NewOptimizer(stats)
+	_, bestCost, err := opt.Optimize(example3Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Naive plan: UBP generation partitioned {UserId,Keyword}, then
+	// repartition {UserId} for the join.
+	src := temporal.Scan("events", trainSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"UserId", "Keyword"}})
+	ubp := src.GroupApply([]string{"UserId", "Keyword"}, func(g *temporal.Plan) *temporal.Plan {
+		return g.WithWindow(6 * temporal.Hour).Count("KwCount")
+	}).Exchange(temporal.PartitionBy{Cols: []string{"UserId"}})
+	clicks := temporal.Scan("clicks", trainSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"UserId"}})
+	naive := clicks.Join(ubp, []string{"UserId"}, []string{"UserId"}, nil)
+
+	naiveCost := NewOptimizer(stats).EstimateCost(naive)
+	if naiveCost <= bestCost {
+		t.Fatalf("naive plan (%.0f) should cost more than optimized (%.0f)", naiveCost, bestCost)
+	}
+	if ratio := naiveCost / bestCost; ratio < 1.1 {
+		t.Errorf("speedup ratio %.2f implausibly small", ratio)
+	}
+}
+
+func TestOptimizerGroupApplySimple(t *testing.T) {
+	plan := temporal.Scan("clicks", clickSchema()).
+		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(100).Count("C")
+		})
+	opt := NewOptimizer(nil)
+	annotated, _, err := opt.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := exchangeKeys(annotated)
+	if len(keys) != 1 || keys[0] != "{AdId}" {
+		t.Fatalf("keys = %v, want single {AdId}", keys)
+	}
+	// The annotated plan must survive fragmentation.
+	frags, err := MakeFragments(annotated, map[string]string{"clicks": "ds"}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0].Part.String() != "{AdId}" {
+		t.Fatalf("frags = %v", frags)
+	}
+}
+
+func TestOptimizerUnkeyedWindowedQueryUsesTime(t *testing.T) {
+	// A global sliding-window aggregate has no payload key; the optimizer
+	// must fall back to temporal partitioning rather than a single task
+	// when the cluster is large (paper §III-B, Figure 16).
+	plan := temporal.Scan("clicks", clickSchema()).
+		WithWindow(30 * temporal.Minute).
+		Count("C")
+	st := DefaultStats()
+	st.SourceRows["clicks"] = 100_000_000
+	st.TimeSpans = 256
+	opt := NewOptimizer(st)
+	annotated, _, err := opt.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := exchangeKeys(annotated)
+	if len(keys) != 1 || !strings.HasPrefix(keys[0], "time") {
+		t.Fatalf("keys = %v, want temporal partitioning", keys)
+	}
+}
+
+func TestOptimizerStatelessPlanNeedsNoExchange(t *testing.T) {
+	plan := temporal.Scan("clicks", clickSchema()).Where(temporal.ColGtInt("AdId", 3))
+	opt := NewOptimizer(nil)
+	annotated, cost, err := opt.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(exchangeKeys(annotated)); n != 0 {
+		t.Fatalf("stateless plan got %d exchanges", n)
+	}
+	if cost <= 0 {
+		t.Error("cost must still account for operator work")
+	}
+}
+
+func TestOptimizerRejectsPreAnnotatedPlan(t *testing.T) {
+	plan := temporal.Scan("clicks", clickSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+		Where(temporal.ColGtInt("AdId", 0))
+	if _, _, err := NewOptimizer(nil).Optimize(plan); err == nil {
+		t.Fatal("pre-annotated plans must be rejected")
+	}
+}
+
+func TestOptimizedPlanExecutesCorrectly(t *testing.T) {
+	// End-to-end: optimize, fragment, run on TiMR, compare to single node.
+	plan := example3Plan()
+	stats := example3Stats()
+	annotated, _, err := NewOptimizer(stats).Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Small synthetic data for both sources.
+	var events, clicks []temporal.Row
+	for i := 0; i < 300; i++ {
+		events = append(events, temporal.Row{
+			temporal.Int(int64(i * 10)), temporal.Int(int64(i % 7)), temporal.Int(int64(i % 5)),
+		})
+		if i%3 == 0 {
+			clicks = append(clicks, temporal.Row{
+				temporal.Int(int64(i*10 + 5)), temporal.Int(int64(i % 7)), temporal.Int(int64(i % 4)),
+			})
+		}
+	}
+	tm := newTestTiMR(4)
+	tm.Cluster.FS.Write("ds.events", mapreduce.SinglePartition(trainSchema(), events))
+	tm.Cluster.FS.Write("ds.clicks", mapreduce.SinglePartition(trainSchema(), clicks))
+	if _, err := tm.Run(annotated, map[string]string{"events": "ds.events", "clicks": "ds.clicks"}, "out"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tm.ResultEvents("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := temporal.RunPlan(example3Plan(), map[string][]temporal.Event{
+		"events": temporal.RowsToPointEvents(events, 0),
+		"clicks": temporal.RowsToPointEvents(clicks, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("optimized plan diverges: %d vs %d events", len(got), len(want))
+	}
+}
+
+func TestPartitionByString(t *testing.T) {
+	p := temporal.PartitionBy{Cols: []string{"A", "B"}}
+	if p.String() != "{A,B}" {
+		t.Errorf("String = %s", p.String())
+	}
+	tp := temporal.PartitionBy{Temporal: true, SpanWidth: 10}
+	if !strings.HasPrefix(tp.String(), "time") {
+		t.Errorf("String = %s", tp.String())
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "timr/internal/temporal"
+
+// SpanSpec implements temporal partitioning (paper §III-B): the time axis
+// is divided into spans of width s with overlap w between successive
+// spans. Span i owns output in [origin + s·i, origin + s·(i+1)) and
+// receives events with timestamps in [origin + s·i − w, origin + s·(i+1)).
+type SpanSpec struct {
+	Origin  temporal.Time
+	Width   temporal.Time // s: span (output) width
+	Overlap temporal.Time // w: max window of the fragment
+	N       int
+}
+
+// NewSpanSpec sizes a span set covering timestamps [lo, hi].
+func NewSpanSpec(lo, hi, width, overlap temporal.Time) *SpanSpec {
+	if width <= 0 {
+		width = 1
+	}
+	n := int((hi-lo)/width) + 1
+	if n < 1 {
+		n = 1
+	}
+	return &SpanSpec{Origin: lo, Width: width, Overlap: overlap, N: n}
+}
+
+// Owned returns the output interval owned by span i.
+func (s *SpanSpec) Owned(i int) (start, end temporal.Time) {
+	start = s.Origin + s.Width*temporal.Time(i)
+	end = start + s.Width
+	if i == 0 {
+		// The first span also owns any output before the origin (windows
+		// opened by the earliest events).
+		start = temporal.MinTime
+	}
+	if i == s.N-1 {
+		// The last span owns the tail beyond the data range.
+		end = temporal.MaxTime
+	}
+	return start, end
+}
+
+// SpansFor returns the spans that must receive an event at time t: its
+// owning span plus any later spans whose overlap region covers t.
+func (s *SpanSpec) SpansFor(t temporal.Time) []int {
+	first := int((t - s.Origin) / s.Width)
+	last := int((t - s.Origin + s.Overlap) / s.Width)
+	if first < 0 {
+		first = 0
+	}
+	if last >= s.N {
+		last = s.N - 1
+	}
+	if last < first {
+		last = first
+	}
+	out := make([]int, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"timr/internal/temporal"
+)
+
+func TestSpanSpecBasics(t *testing.T) {
+	s := NewSpanSpec(0, 99, 25, 10)
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	// Span 1 owns [25,50) and receives [15,50).
+	start, end := s.Owned(1)
+	if start != 25 || end != 50 {
+		t.Errorf("Owned(1) = [%d,%d)", start, end)
+	}
+	// First span owns everything before the origin; last owns the tail.
+	if st, _ := s.Owned(0); st != temporal.MinTime {
+		t.Error("span 0 must own the prefix")
+	}
+	if _, e := s.Owned(3); e != temporal.MaxTime {
+		t.Error("last span must own the tail")
+	}
+}
+
+func TestSpansForOverlap(t *testing.T) {
+	s := NewSpanSpec(0, 99, 25, 10)
+	cases := []struct {
+		t    temporal.Time
+		want []int
+	}{
+		{0, []int{0}},
+		{14, []int{0}},
+		{15, []int{0, 1}}, // in span 1's overlap region [15,25)
+		{24, []int{0, 1}},
+		{25, []int{1}},
+		{40, []int{1, 2}}, // 40 >= 50-10
+		{99, []int{3}},
+	}
+	for _, c := range cases {
+		got := s.SpansFor(c.t)
+		if len(got) != len(c.want) {
+			t.Errorf("SpansFor(%d) = %v, want %v", c.t, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SpansFor(%d) = %v, want %v", c.t, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSpansForClamping(t *testing.T) {
+	s := NewSpanSpec(100, 199, 50, 500) // overlap far larger than range
+	for _, tm := range []temporal.Time{100, 150, 199} {
+		for _, i := range s.SpansFor(tm) {
+			if i < 0 || i >= s.N {
+				t.Fatalf("span index %d out of range", i)
+			}
+		}
+	}
+}
+
+func TestPropertySpanCoverage(t *testing.T) {
+	// Every timestamp in range is received by its owning span, and every
+	// span receiving t either owns t or owns an interval starting within
+	// overlap after t.
+	err := quick.Check(func(loRaw, widthRaw, overlapRaw uint16, tRaw uint32) bool {
+		lo := temporal.Time(loRaw)
+		width := temporal.Time(widthRaw%500) + 1
+		overlap := temporal.Time(overlapRaw % 1000)
+		hi := lo + 10_000
+		s := NewSpanSpec(lo, hi, width, overlap)
+		tm := lo + temporal.Time(tRaw)%(hi-lo+1)
+		spans := s.SpansFor(tm)
+		if len(spans) == 0 {
+			return false
+		}
+		ownSeen := false
+		for _, i := range spans {
+			start := s.Origin + s.Width*temporal.Time(i)
+			end := start + s.Width
+			if start <= tm && tm < end {
+				ownSeen = true
+			}
+			// A non-owning receiving span must need t for warm-up:
+			// t in [start-overlap, start).
+			if tm < start && tm < start-overlap {
+				return false
+			}
+			if tm >= end {
+				return false
+			}
+		}
+		return ownSeen
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

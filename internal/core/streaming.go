@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"timr/internal/temporal"
+)
+
+// StreamingJob executes a fragmented TiMR plan as a live dataflow — the
+// paper's §VII direction: "MapReduce Online and SOPA allow efficient data
+// pipelining in M-R across stages... We can transparently take advantage
+// of the above proposals to directly support real-time CQ processing at
+// scale." Instead of materializing intermediate datasets between stages,
+// every fragment partition hosts a long-running embedded engine, and
+// fragment outputs are routed (by the fragment key's hash, or by time
+// span) straight into the downstream fragments' engines.
+//
+// Ordering across the boundary is restored with punctuation barriers: a
+// downstream partition buffers arrivals from its many upstream partitions
+// and releases them in LE order when the punctuation wave — propagated
+// through the fragment DAG in topological order — guarantees that nothing
+// earlier can still arrive. The same temporal algebra that makes TiMR's
+// batch execution repeatable makes this streaming execution produce
+// exactly the batch results (enforced by tests).
+type StreamingJob struct {
+	frags  []Fragment
+	stages []*streamStage
+	// bySource lists, for each raw source name, the stages consuming it
+	// (with per-stage input index).
+	bySource map[string][]stageInput
+	out      *streamBuffer
+	results  []temporal.Event
+	cfg      Config
+	machines int
+	flushed  bool
+}
+
+type stageInput struct {
+	stage *streamStage
+	src   int
+}
+
+// NewStreamingJob fragments an annotated plan and wires the live DAG.
+// sources maps scan names to their schemas; output events are delivered
+// to Results after Flush (coalesced), and incrementally to onEvent if
+// non-nil.
+func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, machines int, cfg Config, onEvent func(temporal.Event)) (*StreamingJob, error) {
+	// MakeFragments wants dataset bindings; in streaming mode the
+	// "dataset" names are just the source names.
+	bind := make(map[string]string, len(sources))
+	for name := range sources {
+		bind[name] = name
+	}
+	frags, err := MakeFragments(plan, bind, "out")
+	if err != nil {
+		return nil, err
+	}
+	if machines < 1 {
+		machines = 1
+	}
+	j := &StreamingJob{
+		frags:    frags,
+		bySource: make(map[string][]stageInput),
+		cfg:      cfg,
+		machines: machines,
+	}
+	j.out = &streamBuffer{deliver: func(e temporal.Event) {
+		j.results = append(j.results, e)
+		if onEvent != nil {
+			onEvent(e)
+		}
+	}}
+
+	// Build stages bottom-up so downstream wiring exists... fragments are
+	// already in execution (bottom-up) order; build all, then wire.
+	byOutput := make(map[string]*streamStage)
+	for i := range frags {
+		st, err := j.newStage(&frags[i])
+		if err != nil {
+			return nil, err
+		}
+		j.stages = append(j.stages, st)
+		byOutput[frags[i].Output] = st
+	}
+	for _, st := range j.stages {
+		for srcIdx, in := range st.frag.Inputs {
+			if up, ok := byOutput[in.Dataset]; ok {
+				up.consumers = append(up.consumers, stageInput{stage: st, src: srcIdx})
+				st.intermediate[srcIdx] = true
+				continue
+			}
+			if _, ok := sources[in.ScanName]; !ok {
+				return nil, fmt.Errorf("timr: streaming job has no source %q", in.ScanName)
+			}
+			j.bySource[in.ScanName] = append(j.bySource[in.ScanName], stageInput{stage: st, src: srcIdx})
+		}
+	}
+	return j, nil
+}
+
+// Feed pushes one source event into the dataflow. Events must arrive in
+// nondecreasing LE order per source (a live feed's natural order).
+func (j *StreamingJob) Feed(source string, ev temporal.Event) error {
+	ins, ok := j.bySource[source]
+	if !ok {
+		return fmt.Errorf("timr: unknown streaming source %q", source)
+	}
+	for _, in := range ins {
+		in.stage.route(in.src, ev)
+	}
+	return nil
+}
+
+// Advance propagates a punctuation wave through the DAG: stage by stage
+// in topological order, each stage first releases everything the wave
+// guarantees complete, then punctuates its engines, whose flushed output
+// cascades into the next stage before that stage's own barrier runs.
+func (j *StreamingJob) Advance(t temporal.Time) {
+	for _, st := range j.stages {
+		st.advance(t)
+	}
+	j.out.advance(t)
+}
+
+// Flush ends all inputs and drains the DAG.
+func (j *StreamingJob) Flush() {
+	for _, st := range j.stages {
+		st.flush()
+	}
+	j.out.flush()
+	j.flushed = true
+}
+
+// Results returns the coalesced output events (after Flush).
+func (j *StreamingJob) Results() []temporal.Event {
+	if !j.flushed {
+		return nil
+	}
+	return temporal.Coalesce(append([]temporal.Event(nil), j.results...))
+}
+
+// ---- stage ----
+
+type streamStage struct {
+	frag         *Fragment
+	consumers    []stageInput // downstream stages reading this stage's output
+	intermediate []bool       // per input: fed by an upstream stage?
+	job          *StreamingJob
+
+	// Partition engines. Column-keyed fragments use a fixed modulo table;
+	// time-keyed fragments grow one partition per span lazily.
+	parts   map[int]*streamPartition
+	nparts  int // 0 for temporal fragments (unbounded spans)
+	spans   *SpanSpec
+	keyCols [][]int // per input, payload positions of the key columns
+}
+
+type streamPartition struct {
+	eng *temporal.Engine
+	buf *streamBuffer // order-restoring barrier in front of the engine
+}
+
+func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
+	st := &streamStage{
+		frag:         frag,
+		job:          j,
+		parts:        make(map[int]*streamPartition),
+		intermediate: make([]bool, len(frag.Inputs)),
+		keyCols:      make([][]int, len(frag.Inputs)),
+	}
+	switch {
+	case frag.Part.Temporal:
+		width := frag.Part.SpanWidth
+		if width <= 0 {
+			width = 4 * temporal.Hour
+		}
+		st.spans = &SpanSpec{Origin: 0, Width: width, Overlap: frag.Root.MaxWindow(), N: 1 << 30}
+	case len(frag.Part.Cols) == 0:
+		st.nparts = 1
+	default:
+		st.nparts = j.machines
+		for i, in := range frag.Inputs {
+			st.keyCols[i] = in.Schema.Indexes(in.Part.Cols...)
+		}
+	}
+	return st, nil
+}
+
+func (st *streamStage) partition(id int) *streamPartition {
+	if p, ok := st.parts[id]; ok {
+		return p
+	}
+	var sink temporal.Sink = &stageOutput{stage: st, span: id}
+	eng, err := temporal.NewEngineTo(st.frag.Root, sink)
+	if err != nil {
+		panic(err) // plan already compiled once during batch validation
+	}
+	eng.CTIPeriod = 0 // punctuation comes from the wave, not per-feed
+	p := &streamPartition{eng: eng}
+	p.buf = &streamBuffer{deliver: func(e temporal.Event) {
+		src := int(e.Payload[len(e.Payload)-1].AsInt()) // routing tag
+		e.Payload = e.Payload[:len(e.Payload)-1]
+		eng.Feed(st.frag.Inputs[src].ScanName, e)
+	}}
+	st.parts[id] = p
+	return p
+}
+
+// route delivers an event for input src to the partition(s) that own it.
+func (st *streamStage) route(src int, ev temporal.Event) {
+	// Tag the event with its input index so the barrier can feed the
+	// right engine source after reordering.
+	tagged := ev
+	payload := make(temporal.Row, len(ev.Payload)+1)
+	copy(payload, ev.Payload)
+	payload[len(ev.Payload)] = temporal.Int(int64(src))
+	tagged.Payload = payload
+
+	switch {
+	case st.spans != nil:
+		first := int(floorDivT(ev.LE, st.spans.Width))
+		last := int(floorDivT(ev.LE+st.spans.Overlap, st.spans.Width))
+		for i := first; i <= last; i++ {
+			st.partition(i).buf.push(tagged)
+		}
+	case st.nparts == 1:
+		st.partition(0).buf.push(tagged)
+	default:
+		h := temporal.HashRow(ev.Payload, st.keyCols[src])
+		st.partition(int(h % uint64(st.nparts))).buf.push(tagged)
+	}
+}
+
+// advance runs this stage's barrier at time t: release buffered events
+// below t into the engines, then punctuate the engines (flushing their
+// output into downstream buffers before those stages' barriers run).
+func (st *streamStage) advance(t temporal.Time) {
+	for _, p := range st.parts {
+		p.buf.advance(t)
+		p.eng.Advance(t)
+	}
+}
+
+func (st *streamStage) flush() {
+	for _, p := range st.parts {
+		p.buf.flush()
+		p.eng.Flush()
+	}
+}
+
+// stageOutput forwards a partition engine's output downstream, clipping
+// temporal partitions to their owned span.
+type stageOutput struct {
+	stage *streamStage
+	span  int
+}
+
+func (o *stageOutput) OnEvent(e temporal.Event) {
+	st := o.stage
+	if st.spans != nil {
+		start := temporal.Time(o.span) * st.spans.Width
+		end := start + st.spans.Width
+		if _, ok := st.parts[o.span-1]; !ok && o.span <= 0 {
+			// The earliest span owns everything before it (shifted
+			// lifetimes can reach below the data's origin).
+			start = temporal.MinTime
+		}
+		e.LE, e.RE = maxT(e.LE, start), minT(e.RE, end)
+		if e.LE >= e.RE {
+			return
+		}
+	}
+	if st.frag.Final {
+		st.job.out.push(e)
+		return
+	}
+	for _, c := range st.consumers {
+		c.stage.route(c.src, e)
+	}
+}
+
+func (o *stageOutput) OnCTI(temporal.Time) {}
+func (o *stageOutput) OnFlush()            {}
+
+func floorDivT(a, b temporal.Time) temporal.Time {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ---- order-restoring barrier ----
+
+// streamBuffer holds events arriving from many ordered producers and
+// releases them in LE order once a punctuation guarantees completeness.
+type streamBuffer struct {
+	pending []temporal.Event
+	deliver func(temporal.Event)
+}
+
+func (b *streamBuffer) push(e temporal.Event) {
+	b.pending = append(b.pending, e)
+}
+
+// advance releases events with LE < t in sorted order (events at or
+// beyond t may still gain earlier-arriving siblings from other upstream
+// partitions, so they stay buffered).
+func (b *streamBuffer) advance(t temporal.Time) {
+	if len(b.pending) == 0 {
+		return
+	}
+	// Full (LE, RE, payload) ordering keeps release order deterministic
+	// regardless of the arrival interleaving across upstream partitions.
+	temporal.SortEvents(b.pending)
+	n := sort.Search(len(b.pending), func(i int) bool { return b.pending[i].LE >= t })
+	for _, e := range b.pending[:n] {
+		b.deliver(e)
+	}
+	b.pending = append(b.pending[:0], b.pending[n:]...)
+}
+
+func (b *streamBuffer) flush() {
+	b.advance(temporal.MaxTime)
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"timr/internal/temporal"
+)
+
+// runStreaming drives a StreamingJob with interleaved source events and a
+// punctuation wave every `period` ticks.
+func runStreaming(t *testing.T, plan *temporal.Plan, sources map[string]*temporal.Schema,
+	feeds map[string][]temporal.Event, machines int, period temporal.Time) []temporal.Event {
+	t.Helper()
+	job, err := NewStreamingJob(plan, sources, machines, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []temporal.SourceEvent
+	for src, evs := range feeds {
+		for _, e := range evs {
+			all = append(all, temporal.SourceEvent{Source: src, Event: e})
+		}
+	}
+	// Global LE order with deterministic tie-break by source name.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := all[j-1], all[j]
+			if b.Event.LE < a.Event.LE || (b.Event.LE == a.Event.LE && b.Source < a.Source) {
+				all[j-1], all[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	last := temporal.Time(temporal.MinTime)
+	for _, se := range all {
+		if last != temporal.MinTime && se.Event.LE-last >= period {
+			job.Advance(se.Event.LE)
+			last = se.Event.LE
+		} else if last == temporal.MinTime {
+			last = se.Event.LE
+		}
+		if err := job.Feed(se.Source, se.Event); err != nil {
+			t.Fatal(err)
+		}
+	}
+	job.Flush()
+	return job.Results()
+}
+
+func TestStreamingMatchesSingleNodeGrouped(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rows := clickRows(r, 1500, 40, 6)
+	plan := temporal.Scan("clicks", clickSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(60).Count("C")
+		})
+	events := temporal.RowsToPointEvents(rows, 0)
+	got := runStreaming(t, plan,
+		map[string]*temporal.Schema{"clicks": clickSchema()},
+		map[string][]temporal.Event{"clicks": events}, 4, 25)
+	want := singleNode(t, runningClickCount(60), "clicks", rows, 0)
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("streaming %d events != batch %d events", len(got), len(want))
+	}
+}
+
+func TestStreamingTwoStagePipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	rows := clickRows(r, 800, 15, 4)
+	mk := func(annotate bool) *temporal.Plan {
+		src := temporal.Scan("clicks", clickSchema())
+		s := src
+		if annotate {
+			s = src.Exchange(temporal.PartitionBy{Cols: []string{"UserId"}})
+		}
+		perUser := s.GroupApply([]string{"UserId"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(30).Count("C")
+		}).ToPoint()
+		if annotate {
+			perUser = perUser.Exchange(temporal.PartitionBy{Cols: []string{"C"}})
+		}
+		return perUser.GroupApply([]string{"C"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(50).Count("N")
+		})
+	}
+	events := temporal.RowsToPointEvents(rows, 0)
+	got := runStreaming(t, mk(true),
+		map[string]*temporal.Schema{"clicks": clickSchema()},
+		map[string][]temporal.Event{"clicks": events}, 3, 20)
+	want := singleNode(t, mk(false), "clicks", rows, 0)
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("streaming two-stage diverges: %d vs %d events", len(got), len(want))
+	}
+}
+
+func TestStreamingMultiSourceJoin(t *testing.T) {
+	imp := temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "UserId", Kind: temporal.KindInt},
+		temporal.Field{Name: "AdId", Kind: temporal.KindInt},
+	)
+	kw := temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "UserId", Kind: temporal.KindInt},
+		temporal.Field{Name: "Keyword", Kind: temporal.KindInt},
+	)
+	mk := func(annotate bool) *temporal.Plan {
+		l := temporal.Scan("imp", imp)
+		rr := temporal.Scan("kw", kw)
+		var lp, rp *temporal.Plan = l, rr
+		if annotate {
+			lp = l.Exchange(temporal.PartitionBy{Cols: []string{"UserId"}})
+			rp = rr.Exchange(temporal.PartitionBy{Cols: []string{"UserId"}})
+		}
+		return lp.Join(rp.WithWindow(25), []string{"UserId"}, []string{"UserId"}, nil)
+	}
+	r := rand.New(rand.NewSource(31))
+	impRows := clickRows(r, 400, 12, 4)
+	kwRows := clickRows(r, 400, 12, 5)
+	got := runStreaming(t, mk(true),
+		map[string]*temporal.Schema{"imp": imp, "kw": kw},
+		map[string][]temporal.Event{
+			"imp": temporal.RowsToPointEvents(impRows, 0),
+			"kw":  temporal.RowsToPointEvents(kwRows, 0),
+		}, 4, 15)
+	want, err := temporal.RunPlan(mk(false), map[string][]temporal.Event{
+		"imp": temporal.RowsToPointEvents(impRows, 0),
+		"kw":  temporal.RowsToPointEvents(kwRows, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("streaming join diverges: %d vs %d events", len(got), len(want))
+	}
+}
+
+func TestStreamingTemporalPartitioning(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	rows := clickRows(r, 2000, 30, 5)
+	mk := func(annotate bool) *temporal.Plan {
+		src := temporal.Scan("clicks", clickSchema())
+		s := src
+		if annotate {
+			s = src.Exchange(temporal.PartitionBy{Temporal: true, SpanWidth: 400})
+		}
+		return s.WithWindow(90).Count("C")
+	}
+	events := temporal.RowsToPointEvents(rows, 0)
+	got := runStreaming(t, mk(true),
+		map[string]*temporal.Schema{"clicks": clickSchema()},
+		map[string][]temporal.Event{"clicks": events}, 4, 50)
+	want := singleNode(t, mk(false), "clicks", rows, 0)
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("streaming temporal partitioning diverges: %d vs %d events", len(got), len(want))
+	}
+}
+
+func TestStreamingPunctuationRateInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	rows := clickRows(r, 600, 10, 3)
+	plan := func() *temporal.Plan {
+		return temporal.Scan("clicks", clickSchema()).
+			Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+			GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+				return g.WithWindow(40).Count("C")
+			})
+	}
+	events := temporal.RowsToPointEvents(rows, 0)
+	var ref []temporal.Event
+	for _, period := range []temporal.Time{5, 33, 1000} {
+		got := runStreaming(t, plan(),
+			map[string]*temporal.Schema{"clicks": clickSchema()},
+			map[string][]temporal.Event{"clicks": events}, 4, period)
+		if ref == nil {
+			ref = got
+		} else if !temporal.EventsEqual(got, ref) {
+			t.Fatalf("punctuation period %d changed results", period)
+		}
+	}
+}
+
+func TestStreamingIncrementalDelivery(t *testing.T) {
+	// onEvent must fire before Flush when punctuation allows release.
+	plan := temporal.Scan("clicks", clickSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(10).Count("C")
+		})
+	delivered := 0
+	job, err := NewStreamingJob(plan,
+		map[string]*temporal.Schema{"clicks": clickSchema()}, 2, DefaultConfig(),
+		func(temporal.Event) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ev := temporal.PointEvent(temporal.Time(i*5), temporal.Row{
+			temporal.Int(int64(i * 5)), temporal.Int(int64(i % 3)), temporal.Int(int64(i % 2)),
+		})
+		if err := job.Feed("clicks", ev); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			job.Advance(temporal.Time(i * 5))
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no incremental delivery before flush")
+	}
+	if job.Results() != nil {
+		t.Fatal("Results must be nil before Flush")
+	}
+	job.Flush()
+	if len(job.Results()) == 0 {
+		t.Fatal("no results after flush")
+	}
+}
+
+func TestStreamingUnknownSource(t *testing.T) {
+	plan := temporal.Scan("clicks", clickSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(10).Count("C")
+		})
+	job, err := NewStreamingJob(plan, map[string]*temporal.Schema{"clicks": clickSchema()}, 2, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Feed("ghost", temporal.PointEvent(1, nil)); err == nil {
+		t.Fatal("unknown source must error")
+	}
+	if _, err := NewStreamingJob(plan, map[string]*temporal.Schema{}, 2, DefaultConfig(), nil); err == nil {
+		t.Fatal("missing source binding must error")
+	}
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"timr/internal/mapreduce"
+	"timr/internal/temporal"
+)
+
+// Intermediate datasets carry event lifetimes in two leading columns
+// (paper footnote 2 extends the Time-column convention to interval
+// events; we adopt the extension for all TiMR-produced data).
+const (
+	ColLE = "__LE"
+	ColRE = "__RE"
+)
+
+// TimeColumn is the mandated first column of raw source datasets
+// (paper §III-A step 4).
+const TimeColumn = "Time"
+
+// IntermediateSchema wraps a payload schema with lifetime columns.
+func IntermediateSchema(payload *temporal.Schema) *temporal.Schema {
+	fields := []temporal.Field{
+		{Name: ColLE, Kind: temporal.KindInt},
+		{Name: ColRE, Kind: temporal.KindInt},
+	}
+	return temporal.NewSchema(append(fields, payload.Fields()...)...)
+}
+
+// EventsToRows converts engine output events into intermediate rows. All
+// rows are carved from one backing slab: reducer outputs are written to
+// the FS wholesale, so slab lifetime matches row lifetime.
+func EventsToRows(events []temporal.Event) []mapreduce.Row {
+	total := 0
+	for _, e := range events {
+		total += 2 + len(e.Payload)
+	}
+	slab := make(temporal.Row, total)
+	rows := make([]mapreduce.Row, len(events))
+	for i, e := range events {
+		n := 2 + len(e.Payload)
+		row := slab[:n:n]
+		slab = slab[n:]
+		row[0], row[1] = temporal.Int(e.LE), temporal.Int(e.RE)
+		copy(row[2:], e.Payload)
+		rows[i] = row
+	}
+	return rows
+}
+
+// RowsToEvents converts intermediate rows back into events.
+func RowsToEvents(rows []mapreduce.Row) []temporal.Event {
+	events := make([]temporal.Event, len(rows))
+	for i, r := range rows {
+		events[i] = temporal.Event{LE: r[0].AsInt(), RE: r[1].AsInt(), Payload: r[2:]}
+	}
+	return events
+}
+
+// Config tunes the TiMR runtime.
+type Config struct {
+	// CTIPeriod is the application-time interval between punctuations
+	// injected by reducers; it bounds engine state during a partition run.
+	CTIPeriod temporal.Time
+	// SpanWidth overrides the output-span width for temporal
+	// partitioning (§III-B). Zero (the default) auto-sizes spans to give
+	// the cluster about two tasks per machine, floored at twice the
+	// fragment's window so overlap duplication stays below ~50%.
+	SpanWidth temporal.Time
+	// Coalesce canonicalizes fragment output (merging events fragmented
+	// at CTI boundaries) before it is written back to the FS.
+	Coalesce bool
+}
+
+// DefaultConfig mirrors the defaults used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		CTIPeriod: 15 * temporal.Minute,
+		Coalesce:  true,
+	}
+}
+
+// TiMR binds a cluster to the framework configuration.
+type TiMR struct {
+	Cluster *mapreduce.Cluster
+	Cfg     Config
+}
+
+// New builds a TiMR instance over a cluster.
+func New(cluster *mapreduce.Cluster, cfg Config) *TiMR {
+	if cfg.CTIPeriod <= 0 {
+		cfg.CTIPeriod = DefaultConfig().CTIPeriod
+	}
+	return &TiMR{Cluster: cluster, Cfg: cfg}
+}
+
+// Run executes an annotated temporal plan over the cluster: it fragments
+// the plan, converts each fragment to an M-R stage (paper §III-A step 4)
+// and runs the stages in order. sources maps scan names to FS datasets;
+// output names the result dataset, which carries IntermediateSchema rows.
+func (t *TiMR) Run(plan *temporal.Plan, sources map[string]string, output string) (*mapreduce.JobStat, error) {
+	frags, err := MakeFragments(plan, sources, output)
+	if err != nil {
+		return nil, err
+	}
+	stages := make([]mapreduce.Stage, 0, len(frags))
+	for i := range frags {
+		st, err := t.Stage(&frags[i])
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, st)
+	}
+	return t.Cluster.Run(stages...)
+}
+
+// ResultEvents reads a TiMR output dataset back as coalesced events.
+func (t *TiMR) ResultEvents(name string) ([]temporal.Event, error) {
+	ds, err := t.Cluster.FS.Read(name)
+	if err != nil {
+		return nil, err
+	}
+	return temporal.Coalesce(RowsToEvents(ds.Flatten())), nil
+}
+
+// Stage converts one fragment into a map-reduce stage whose reducer is
+// the generated method P of the paper: it converts partition rows to
+// events, feeds them to an embedded engine instance running the fragment
+// plan (the generated method P'), and drains result events back to rows
+// through a blocking queue (§III-C.2).
+func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
+	// A raw source may itself be the output of an earlier TiMR job, in
+	// which case its rows carry interval lifetimes; detect that from the
+	// stored schema so chained jobs compose (the BT pipeline runs one job
+	// per phase).
+	for i := range frag.Inputs {
+		in := &frag.Inputs[i]
+		if in.Intermediate {
+			continue
+		}
+		if ds, err := t.Cluster.FS.Read(in.Dataset); err == nil && hasLifetimeColumns(ds.Schema) {
+			in.Intermediate = true
+		}
+	}
+	inputs := make([]string, len(frag.Inputs))
+	for i, in := range frag.Inputs {
+		inputs[i] = in.Dataset
+	}
+	outSchema := IntermediateSchema(frag.Root.Schema())
+
+	st := mapreduce.Stage{
+		Name:      frag.Name,
+		Inputs:    inputs,
+		Output:    frag.Output,
+		OutSchema: outSchema,
+	}
+
+	if frag.Part.Temporal {
+		if err := t.temporalStage(&st, frag); err != nil {
+			return st, err
+		}
+		return st, nil
+	}
+
+	if len(frag.Part.Cols) == 0 {
+		// Non-partitionable fragment: single task.
+		st.NumPartitions = 1
+		st.Partition = func(mapreduce.Row, int) uint64 { return 0 }
+	} else {
+		// hash(key) mod #machines (§III-C.3): one engine instance serves
+		// a whole hash bucket of logical groups.
+		cols := make([][]int, len(frag.Inputs))
+		for i, in := range frag.Inputs {
+			cols[i] = partitionCols(in, frag.Inputs[i].Part.Cols)
+		}
+		st.Partition = mapreduce.PartitionByCols(cols)
+	}
+
+	st.Reduce = t.reducer(frag, nil)
+	return st, nil
+}
+
+// hasLifetimeColumns reports whether a stored dataset schema leads with
+// the __LE/__RE interval columns of TiMR intermediate data.
+func hasLifetimeColumns(s *temporal.Schema) bool {
+	return s != nil && s.Len() >= 2 && s.Field(0).Name == ColLE && s.Field(1).Name == ColRE
+}
+
+// partitionCols resolves partition column positions, accounting for the
+// two lifetime columns of intermediate datasets.
+func partitionCols(in FragmentInput, cols []string) []int {
+	idx := in.Schema.Indexes(cols...)
+	if in.Intermediate {
+		for i := range idx {
+			idx[i] += 2
+		}
+	}
+	return idx
+}
+
+// reducer builds the method P for a fragment. If clip is non-nil, output
+// events are clipped to the owned interval (temporal partitioning).
+func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
+	// Capture per-input conversion metadata once.
+	type inMeta struct {
+		scan         string
+		intermediate bool
+		timeCol      int
+	}
+	metas := make([]inMeta, len(frag.Inputs))
+	for i, in := range frag.Inputs {
+		m := inMeta{scan: in.ScanName, intermediate: in.Intermediate}
+		if !in.Intermediate {
+			m.timeCol = in.Schema.MustIndex(TimeColumn)
+		}
+		metas[i] = m
+	}
+	root := frag.Root
+	cfg := t.Cfg
+
+	return func(part int, in [][]mapreduce.Row, emit func(mapreduce.Row)) error {
+		// The DSMS pushes results asynchronously while M-R pulls rows
+		// synchronously from the reducer; TiMR bridges the two with a
+		// blocking queue (§III-C.2).
+		queue := make(chan temporal.Event, 1024)
+		sink := &temporal.FuncSink{
+			Event: func(e temporal.Event) { queue <- e },
+		}
+		eng, err := temporal.NewEngineTo(root, sink)
+		if err != nil {
+			return err
+		}
+		eng.CTIPeriod = cfg.CTIPeriod
+
+		// Convert partition rows to events (P reads rows "and converts
+		// each row into an event using the predefined Time column").
+		total := 0
+		for _, rows := range in {
+			total += len(rows)
+		}
+		feed := make([]temporal.SourceEvent, 0, total)
+		for src, rows := range in {
+			m := metas[src]
+			for _, r := range rows {
+				var ev temporal.Event
+				if m.intermediate {
+					ev = temporal.Event{LE: r[0].AsInt(), RE: r[1].AsInt(), Payload: r[2:]}
+				} else {
+					ev = temporal.PointEvent(r[m.timeCol].AsInt(), r)
+				}
+				feed = append(feed, temporal.SourceEvent{Source: m.scan, Event: ev})
+			}
+		}
+		// The engine requires nondecreasing LE; M-R partitions are not
+		// time-sorted, so P sorts first (the strawman's "pre-sorting of
+		// data", §II-C — here it is part of the framework, written once).
+		// Sorting an index vector avoids shuffling the wide SourceEvent
+		// structs — partitions are concatenations of sorted runs, and the
+		// stable sort keeps equal-timestamp order deterministic.
+		order := make([]int32, len(feed))
+		for i := range order {
+			order[i] = int32(i)
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return feed[order[i]].Event.LE < feed[order[j]].Event.LE
+		})
+
+		done := make(chan error, 1)
+		go func() {
+			defer close(queue)
+			for _, ix := range order {
+				eng.Feed(feed[ix].Source, feed[ix].Event)
+			}
+			eng.Flush()
+			done <- nil
+		}()
+
+		var out []temporal.Event
+		for e := range queue {
+			if spans != nil {
+				start, end := spans.Owned(part)
+				e.LE, e.RE = maxT(e.LE, start), minT(e.RE, end)
+				if e.LE >= e.RE {
+					continue
+				}
+			}
+			out = append(out, e)
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		if cfg.Coalesce {
+			out = temporal.Coalesce(out)
+		}
+		for _, r := range EventsToRows(out) {
+			emit(r)
+		}
+		return nil
+	}
+}
+
+func maxT(a, b temporal.Time) temporal.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b temporal.Time) temporal.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// temporalStage wires a time-partitioned fragment (§III-B): rows are
+// routed to overlapping spans, each span's engine produces output only
+// for its owned interval.
+func (t *TiMR) temporalStage(st *mapreduce.Stage, frag *Fragment) error {
+	width := frag.Part.SpanWidth
+	if width <= 0 {
+		width = t.Cfg.SpanWidth
+	}
+	overlap := frag.Root.MaxWindow()
+	// Determine the data's time range to size the span set.
+	lo, hi := temporal.MaxTime, temporal.MinTime
+	for _, in := range frag.Inputs {
+		ds, err := t.Cluster.FS.Read(in.Dataset)
+		if err != nil {
+			return err
+		}
+		timeCol := 0
+		if !in.Intermediate {
+			timeCol = in.Schema.MustIndex(TimeColumn)
+		}
+		for _, p := range ds.Partitions {
+			for _, r := range p {
+				ts := r[timeCol].AsInt()
+				if ts < lo {
+					lo = ts
+				}
+				if ts > hi {
+					hi = ts
+				}
+			}
+		}
+	}
+	if lo > hi {
+		lo, hi = 0, 0
+	}
+	if width <= 0 {
+		// Auto-size: about two tasks per machine, but spans no narrower
+		// than twice the fragment's window so the overlap duplication
+		// stays below ~50% (the tradeoff of paper Figure 16).
+		machines := temporal.Time(t.Cluster.Cfg.Machines)
+		if machines < 1 {
+			machines = 1
+		}
+		width = (hi - lo + 1) / (2 * machines)
+		if min := 2 * overlap; width < min {
+			width = min
+		}
+		if width <= 0 {
+			width = 1
+		}
+	}
+	spans := NewSpanSpec(lo, hi, width, overlap)
+	st.NumPartitions = spans.N
+	timeCols := make([]int, len(frag.Inputs))
+	for i, in := range frag.Inputs {
+		if in.Intermediate {
+			timeCols[i] = 0
+		} else {
+			timeCols[i] = in.Schema.MustIndex(TimeColumn)
+		}
+	}
+	st.MultiPartition = func(r mapreduce.Row, src, nparts int) []int {
+		return spans.SpansFor(r[timeCols[src]].AsInt())
+	}
+	st.Reduce = t.reducer(frag, spans)
+	return nil
+}
+
+// String renders a fragment summary ("DAG of {fragment, key} pairs").
+func (frag *Fragment) String() string {
+	return fmt.Sprintf("%s key=%s inputs=%d -> %s", frag.Name, frag.Part, len(frag.Inputs), frag.Output)
+}

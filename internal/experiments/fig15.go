@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"timr/internal/bt"
+	"timr/internal/temporal"
+	"timr/internal/workload"
+)
+
+// Fig15 reproduces Figure 15: per-machine engine event rates for each BT
+// sub-query. A single embedded engine (one "machine") processes its
+// phase's input events; throughput is input events per second of engine
+// time. Since every query is partitionable, cluster throughput scales
+// with the machine count (§V-B).
+func Fig15(c *Context) (*Table, error) {
+	data := workload.Generate(c.Opt.Workload)
+	p := c.Opt.Params
+	events := data.Events()
+
+	// Phase inputs are produced by a preparatory single-node run.
+	phases, err := bt.RunSingleNode(p, events)
+	if err != nil {
+		return nil, err
+	}
+
+	type subQuery struct {
+		name   string
+		plan   *temporal.Plan
+		inputs map[string][]temporal.Event
+	}
+	queries := []subQuery{
+		{"BotElim", bt.BotElimPlan(p, false), map[string][]temporal.Event{bt.SourceEvents: events}},
+		{"Label", bt.LabelPlan(p, false), map[string][]temporal.Event{bt.SourceClean: phases[bt.DSClean]}},
+		{"GenTrainData", bt.TrainDataPlan(p, false), map[string][]temporal.Event{
+			bt.SourceLabeled: phases[bt.DSLabeled], bt.SourceClean: phases[bt.DSClean],
+		}},
+		{"FeatureSelect", bt.FeatureSelectPlan(p, false), map[string][]temporal.Event{
+			bt.SourceLabeled: phases[bt.DSLabeled], bt.SourceTrain: phases[bt.DSTrain],
+		}},
+		{"Reduce", bt.ReducePlan(p, false), map[string][]temporal.Event{
+			bt.SourceTrain: phases[bt.DSTrain], bt.SourceScores: phases[bt.DSScores],
+		}},
+		{"ModelGen", bt.ModelPlan(p, false), map[string][]temporal.Event{
+			bt.SourceReduced: phases[bt.DSReduced],
+		}},
+	}
+
+	t := &Table{
+		Title:  "Figure 15: single-engine event throughput per BT sub-query",
+		Header: []string{"sub-query", "input events", "engine time", "events/sec"},
+	}
+	for _, q := range queries {
+		n := 0
+		for _, evs := range q.inputs {
+			n += len(evs)
+		}
+		start := time.Now()
+		if _, err := temporal.RunPlan(q.plan, q.inputs); err != nil {
+			return nil, fmt.Errorf("%s: %w", q.name, err)
+		}
+		d := time.Since(start)
+		rate := float64(n) / d.Seconds()
+		t.AddRow(q.name, fi(int64(n)), d.Round(time.Millisecond).String(), fmt.Sprintf("%.0f", rate))
+	}
+	t.AddNote("paper reports per-machine DSMS event rates; all sub-queries are partitionable, so cluster throughput scales with machines")
+	return t, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fig17to19 reproduces Figures 17, 18 and 19: for the deodorant, laptop
+// and cellphone ad classes, the keywords with the most positive and most
+// negative z-scores. The workload plants the paper's keyword sets (e.g.
+// icarly/celebrity/exam positive for deodorant; jobless/credit negative),
+// and the table reports how many planted keywords the z-test recovered.
+func Fig17to19(c *Context) (*Table, error) {
+	r, err := c.BT()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figures 17-19: highest/lowest z-score keywords per ad class",
+		Header: []string{"ad class", "rank", "positive keyword", "z", "negative keyword", "z"},
+	}
+	classes := []string{"deodorant", "laptop", "cellphone"}
+	const topK = 8
+	for _, name := range classes {
+		ad, err := r.adOrFail(name)
+		if err != nil {
+			return nil, err
+		}
+		scores := r.Scores[ad.ID]
+		type kz struct {
+			kw int64
+			z  float64
+		}
+		var all []kz
+		for kw, z := range scores {
+			all = append(all, kz{kw, z})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].z != all[j].z {
+				return all[i].z > all[j].z
+			}
+			return all[i].kw < all[j].kw
+		})
+		plantedPos := map[int64]bool{}
+		for _, k := range ad.Pos {
+			plantedPos[k] = true
+		}
+		plantedNeg := map[int64]bool{}
+		for _, k := range ad.Neg {
+			plantedNeg[k] = true
+		}
+		hitPos, hitNeg := 0, 0
+		for i := 0; i < topK; i++ {
+			posName, posZ, negName, negZ := "-", "", "-", ""
+			if i < len(all) && all[i].z > 0 {
+				posName = r.Data.KeywordNames[all[i].kw]
+				posZ = f(all[i].z)
+				if plantedPos[all[i].kw] {
+					hitPos++
+					posName += " *"
+				}
+			}
+			j := len(all) - 1 - i
+			if j > i && all[j].z < 0 {
+				negName = r.Data.KeywordNames[all[j].kw]
+				negZ = f(all[j].z)
+				if plantedNeg[all[j].kw] {
+					hitNeg++
+					negName += " *"
+				}
+			}
+			t.AddRow(name, fi(int64(i+1)), posName, posZ, negName, negZ)
+		}
+		t.AddNote(fmt.Sprintf("%s: %d/%d top-positive and %d/%d top-negative keywords are planted ground truth (*)",
+			name, hitPos, topK, hitNeg, topK))
+	}
+	t.AddNote("paper examples: deodorant + celebrity 11.0, icarly 6.7 ... jobless -1.9, credit -3.6")
+	return t, nil
+}

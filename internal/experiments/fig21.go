@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"timr/internal/ml"
+	"timr/internal/stats"
+)
+
+// Fig21 reproduces Figure 21: on the test half, the CTR of impression
+// subsets chosen by the presence of positively/negatively scored keywords
+// (z at 80% confidence) in the user's profile, for two ad classes. The
+// paper's finding: positive-keyword examples show large CTR lift,
+// only-negative examples negative lift — keywords are a good CTR signal.
+func Fig21(c *Context) (*Table, error) {
+	r, err := c.BT()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 21: keyword elimination and CTR (test half, z at 80% confidence)",
+		Header: []string{"ad class", "examples chosen", "#click", "#impr", "CTR", "lift"},
+	}
+	for _, name := range []string{"laptop", "cellphone"} {
+		ad, err := r.adOrFail(name)
+		if err != nil {
+			return nil, err
+		}
+		scores := r.Scores[ad.ID]
+		pos := map[int64]bool{}
+		neg := map[int64]bool{}
+		for kw, z := range scores {
+			if z >= stats.Z80 {
+				pos[kw] = true
+			} else if z <= -stats.Z80 {
+				neg[kw] = true
+			}
+		}
+		_, test := r.AdExamples(ad.ID)
+
+		kind := func(e ml.Example) (hasPos, hasNeg bool) {
+			for _, f := range e.Features {
+				if pos[f.ID] {
+					hasPos = true
+				}
+				if neg[f.ID] {
+					hasNeg = true
+				}
+			}
+			return hasPos, hasNeg
+		}
+		sets := []struct {
+			name   string
+			member func(e ml.Example) bool
+		}{
+			{"All", func(ml.Example) bool { return true }},
+			{">=1 pos kw", func(e ml.Example) bool { p, _ := kind(e); return p }},
+			{">=1 neg kw", func(e ml.Example) bool { _, n := kind(e); return n }},
+			{"Only pos kws", func(e ml.Example) bool { p, n := kind(e); return p && !n }},
+			{"Only neg kws", func(e ml.Example) bool { p, n := kind(e); return n && !p }},
+		}
+		var v0 float64
+		for _, set := range sets {
+			var clicks, imprs int64
+			for _, e := range test {
+				if set.member(e) {
+					imprs++
+					if e.Clicked {
+						clicks++
+					}
+				}
+			}
+			ctr := 0.0
+			if imprs > 0 {
+				ctr = float64(clicks) / float64(imprs)
+			}
+			if set.name == "All" {
+				v0 = ctr
+			}
+			lift := "-"
+			if v0 > 0 && set.name != "All" {
+				lift = fmt.Sprintf("%+.0f%%", (ctr/v0-1)*100)
+			}
+			t.AddRow(name, set.name, fi(clicks), fi(imprs), pct(ctr), lift)
+		}
+	}
+	t.AddNote("paper: positive-keyword subsets lift CTR by 28-53%%; only-negative subsets have negative lift")
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"timr/internal/baseline"
+	"timr/internal/stats"
+)
+
+// MemTime reproduces the §V-D "Memory and Learning Time" result: the
+// average number of entries in the sparse UBP representation per training
+// example under each data-reduction scheme (paper: 3.7 raw, ~1 for
+// KE-1.28, ~8 for F-Ex since each keyword maps to up to 3 categories) and
+// the LR learning time per scheme (paper, diet ad: F-Ex 31s > KE-1.28 18s
+// > KE-2.56 5s).
+func MemTime(c *Context) (*Table, error) {
+	r, err := c.BT()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "§V-D: UBP memory footprint and LR learning time per scheme",
+		Header: []string{"ad class", "scheme", "dims", "avg UBP entries", "LR time"},
+	}
+	for _, name := range []string{"laptop", "dieting"} {
+		ad, err := r.adOrFail(name)
+		if err != nil {
+			return nil, err
+		}
+		train, test := r.AdExamples(ad.ID)
+		schemes := []baseline.Scheme{
+			baseline.Identity(),
+			baseline.NewKEZ(r.Scores[ad.ID], stats.Z80),
+			baseline.NewKEZ(r.Scores[ad.ID], 2.56),
+			baseline.NewFEx(2000),
+		}
+		for _, s := range schemes {
+			res := EvaluateScheme(s, train, test, c.Opt.Params.ModelEpochs)
+			t.AddRow(name, res.Scheme,
+				fi(int64(res.Dims)),
+				fmt.Sprintf("%.2f", res.AvgUBPSize),
+				res.TrainTime.Round(time.Microsecond).String(),
+			)
+		}
+	}
+	t.AddNote("paper (laptop): 3.7 entries raw -> ~1 with KE-1.28, ~8 with F-Ex; LR time F-Ex > KE-1.28 > KE-2.56")
+	return t, nil
+}

@@ -1,0 +1,121 @@
+// Package mapreduce is a deterministic, in-process simulation of the
+// map-reduce substrate the paper runs on (Dryad/SCOPE over Cosmos,
+// equivalently Hadoop over HDFS): a distributed file system holding
+// partitioned datasets, and jobs made of stages that partition ("map")
+// rows by key and apply a reducer to every partition in parallel.
+//
+// The simulator reproduces the properties TiMR depends on:
+//
+//   - stages read and write named, partitioned datasets in a shared FS;
+//   - the reducer is a black box invoked once per partition (§II-B);
+//   - failed reducers are restarted from scratch, so reducers must be
+//     deterministic functions of their input partition (§III-C.1) —
+//     failure injection lets tests verify TiMR's repeatability guarantee;
+//   - cluster cost is accounted per reducer task, and a job's makespan on
+//     M machines is computed by list scheduling, so scaling experiments
+//     (paper Figures 15 and 16) are meaningful regardless of how many
+//     physical cores the host has.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"timr/internal/temporal"
+)
+
+// Row and Schema alias the engine's row model; datasets and streams share
+// one representation, which is what lets TiMR hand M-R rows to the
+// embedded DSMS without conversion cost.
+type (
+	Row    = temporal.Row
+	Schema = temporal.Schema
+)
+
+// Dataset is a partitioned, schema-carrying table in the simulated DFS.
+type Dataset struct {
+	Schema     *Schema
+	Partitions [][]Row
+}
+
+// Rows returns the total row count across partitions.
+func (d *Dataset) Rows() int {
+	n := 0
+	for _, p := range d.Partitions {
+		n += len(p)
+	}
+	return n
+}
+
+// Flatten returns all rows of the dataset in partition order.
+func (d *Dataset) Flatten() []Row {
+	out := make([]Row, 0, d.Rows())
+	for _, p := range d.Partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SinglePartition builds a dataset with all rows in one partition — the
+// shape of freshly ingested logs before any repartitioning.
+func SinglePartition(schema *Schema, rows []Row) *Dataset {
+	return &Dataset{Schema: schema, Partitions: [][]Row{rows}}
+}
+
+// FS is the simulated distributed file system (Cosmos/HDFS/GFS stand-in).
+// It is safe for concurrent use.
+type FS struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewFS returns an empty file system.
+func NewFS() *FS { return &FS{datasets: make(map[string]*Dataset)} }
+
+// Write stores (or replaces) a named dataset.
+func (fs *FS) Write(name string, d *Dataset) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.datasets[name] = d
+}
+
+// Read fetches a named dataset.
+func (fs *FS) Read(name string) (*Dataset, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	d, ok := fs.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: no dataset %q", name)
+	}
+	return d, nil
+}
+
+// MustRead fetches a dataset, panicking on missing names (used by tests
+// and experiment harness code where absence is a bug).
+func (fs *FS) MustRead(name string) *Dataset {
+	d, err := fs.Read(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Delete removes a dataset (intermediate cleanup between stages).
+func (fs *FS) Delete(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.datasets, name)
+}
+
+// List returns the stored dataset names, sorted.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.datasets))
+	for n := range fs.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

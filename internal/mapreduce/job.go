@@ -1,0 +1,308 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"timr/internal/temporal"
+)
+
+// Reducer is the per-partition computation of a stage (paper §II-B: "a
+// reducer method that accepts all rows belonging to the same partition,
+// and returns result rows"). in holds the partition's rows, one slice per
+// stage input. Reducers must be deterministic in their input: the cluster
+// restarts failed attempts and verifies repeatability.
+type Reducer func(part int, in [][]Row, emit func(Row)) error
+
+// Stage is one map-reduce stage: a partitioning function (the "map" side)
+// plus a reducer applied to every partition.
+type Stage struct {
+	Name      string
+	Inputs    []string
+	Output    string
+	OutSchema *Schema
+	// NumPartitions defaults to the cluster's machine count — the paper's
+	// hash(key) mod #machines scheme (§III-C.3).
+	NumPartitions int
+	// Partition maps a row (from input src) to a partition key hash.
+	// Rows with equal hashes meet in the same reducer invocation.
+	Partition func(r Row, src int) uint64
+	// MultiPartition, when set, supersedes Partition and may replicate a
+	// row into several partitions (given directly as partition indexes in
+	// [0, NumPartitions)). TiMR's temporal partitioning uses this: events
+	// in a span-overlap region belong to both adjacent spans (§III-B).
+	MultiPartition func(r Row, src int, nparts int) []int
+	Reduce         Reducer
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	Machines    int     // parallel reducer slots (paper: ~150)
+	FailureRate float64 // probability that a reducer attempt fails
+	MaxAttempts int     // per reducer task (default 4)
+	Seed        int64   // seed for failure injection
+	// ShufflePerRow is the modeled cost of repartitioning one row over
+	// the network (write + transfer + read), charged to the makespan
+	// accounting; it does not slow real execution.
+	ShufflePerRow time.Duration
+}
+
+// DefaultConfig is a 150-machine failure-free cluster, mirroring the
+// paper's experimental setup. The 5µs/row shuffle charge models writing,
+// transferring and re-reading a ~100-byte row through 2012-era disks and
+// interconnect — roughly the per-row CPU cost of the engine, as on real
+// clusters where repartitioning a dataset costs about as much as one
+// processing pass over it.
+func DefaultConfig() Config {
+	return Config{Machines: 150, MaxAttempts: 4, ShufflePerRow: 5 * time.Microsecond}
+}
+
+// TaskStat records one reducer task's accounting.
+type TaskStat struct {
+	Stage     string
+	Partition int
+	Rows      int
+	Attempts  int
+	Duration  time.Duration // successful attempt only
+}
+
+// StageStat aggregates a stage's accounting.
+type StageStat struct {
+	Name        string
+	InputRows   int
+	ShuffleRows int
+	OutputRows  int
+	Partitions  int
+	Failures    int
+	Tasks       []TaskStat
+	WallTime    time.Duration // real elapsed time of the stage
+}
+
+// TotalTaskTime sums successful reducer durations (the "work").
+func (s *StageStat) TotalTaskTime() time.Duration {
+	var d time.Duration
+	for _, t := range s.Tasks {
+		d += t.Duration
+	}
+	return d
+}
+
+// Makespan computes the simulated completion time of the stage's reducer
+// tasks on m machines via LPT list scheduling, plus the modeled shuffle
+// cost (which is perfectly parallel across machines).
+func (s *StageStat) Makespan(m int, shufflePerRow time.Duration) time.Duration {
+	if m <= 0 {
+		m = 1
+	}
+	durs := make([]time.Duration, len(s.Tasks))
+	for i, t := range s.Tasks {
+		durs[i] = t.Duration
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] > durs[j] })
+	loads := make([]time.Duration, m)
+	for _, d := range durs {
+		// Assign to the least-loaded machine.
+		min := 0
+		for i := 1; i < m; i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += d
+	}
+	var max time.Duration
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	shuffle := time.Duration(s.ShuffleRows) * shufflePerRow / time.Duration(m)
+	return max + shuffle
+}
+
+// JobStat aggregates a whole job.
+type JobStat struct {
+	Stages []StageStat
+}
+
+// Makespan sums per-stage makespans (stages are sequential barriers, as in
+// the basic M-R model).
+func (j *JobStat) Makespan(m int, shufflePerRow time.Duration) time.Duration {
+	var d time.Duration
+	for i := range j.Stages {
+		d += j.Stages[i].Makespan(m, shufflePerRow)
+	}
+	return d
+}
+
+// Cluster executes jobs against an FS under a Config.
+type Cluster struct {
+	FS  *FS
+	Cfg Config
+}
+
+// NewCluster builds a cluster over a fresh FS.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Machines <= 0 {
+		cfg.Machines = 1
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	return &Cluster{FS: NewFS(), Cfg: cfg}
+}
+
+// Run executes the stages in order, returning accounting for the job.
+func (c *Cluster) Run(stages ...Stage) (*JobStat, error) {
+	job := &JobStat{}
+	for i := range stages {
+		st, err := c.runStage(&stages[i])
+		if err != nil {
+			return job, fmt.Errorf("stage %s: %w", stages[i].Name, err)
+		}
+		job.Stages = append(job.Stages, *st)
+	}
+	return job, nil
+}
+
+// injectedFailure implements deterministic failure injection: whether
+// attempt a of (stage, partition) fails is a pure function of the seed.
+func (c *Cluster) injectedFailure(stage string, part, attempt int) bool {
+	if c.Cfg.FailureRate <= 0 {
+		return false
+	}
+	h := temporal.HashSeed
+	h = temporal.String(stage).Hash(h)
+	h = temporal.Int(int64(part)).Hash(h)
+	h = temporal.Int(int64(attempt)).Hash(h)
+	h = temporal.Int(c.Cfg.Seed).Hash(h)
+	r := rand.New(rand.NewSource(int64(h)))
+	return r.Float64() < c.Cfg.FailureRate
+}
+
+func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
+	start := time.Now()
+	nparts := s.NumPartitions
+	if nparts <= 0 {
+		nparts = c.Cfg.Machines
+	}
+	stat := &StageStat{Name: s.Name, Partitions: nparts}
+
+	// ---- Map phase: read inputs, partition rows ----
+	// parts[p][src] accumulates rows for partition p from input src.
+	parts := make([][][]Row, nparts)
+	for p := range parts {
+		parts[p] = make([][]Row, len(s.Inputs))
+	}
+	for src, name := range s.Inputs {
+		ds, err := c.FS.Read(name)
+		if err != nil {
+			return stat, err
+		}
+		for _, partition := range ds.Partitions {
+			for _, r := range partition {
+				stat.InputRows++
+				if s.MultiPartition != nil {
+					for _, p := range s.MultiPartition(r, src, nparts) {
+						parts[p][src] = append(parts[p][src], r)
+						stat.ShuffleRows++
+					}
+					continue
+				}
+				p := int(s.Partition(r, src) % uint64(nparts))
+				parts[p][src] = append(parts[p][src], r)
+				stat.ShuffleRows++
+			}
+		}
+	}
+
+	// ---- Reduce phase: run reducers on a bounded worker pool ----
+	workers := c.Cfg.Machines
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	type result struct {
+		part int
+		rows []Row
+		stat TaskStat
+		err  error
+	}
+	sem := make(chan struct{}, workers)
+	results := make([]result, nparts)
+	var wg sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		n := 0
+		for _, rows := range parts[p] {
+			n += len(rows)
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := result{part: p, stat: TaskStat{Stage: s.Name, Partition: p, Rows: n}}
+			succeeded := false
+			for attempt := 1; attempt <= c.Cfg.MaxAttempts; attempt++ {
+				res.stat.Attempts = attempt
+				var out []Row
+				t0 := time.Now()
+				fail := c.injectedFailure(s.Name, p, attempt)
+				err := s.Reduce(p, parts[p], func(r Row) { out = append(out, r) })
+				if fail {
+					// The attempt's partial output is discarded, exactly
+					// as M-R discards output of failed reducers; the task
+					// is then restarted from scratch (§III-C.1).
+					continue
+				}
+				if err != nil {
+					res.err = err
+					break
+				}
+				res.stat.Duration = time.Since(t0)
+				res.rows = out
+				succeeded = true
+				break
+			}
+			if !succeeded && res.err == nil {
+				res.err = fmt.Errorf("partition %d failed after %d attempts", p, c.Cfg.MaxAttempts)
+			}
+			results[p] = res
+		}(p, n)
+	}
+	wg.Wait()
+
+	out := &Dataset{Schema: s.OutSchema, Partitions: make([][]Row, nparts)}
+	for p := range results {
+		res := &results[p]
+		if res.stat.Rows == 0 {
+			continue
+		}
+		if res.err != nil {
+			return stat, res.err
+		}
+		stat.Failures += res.stat.Attempts - 1
+		stat.Tasks = append(stat.Tasks, res.stat)
+		out.Partitions[p] = res.rows
+		stat.OutputRows += len(res.rows)
+	}
+	if s.Output != "" {
+		c.FS.Write(s.Output, out)
+	}
+	stat.WallTime = time.Since(start)
+	return stat, nil
+}
+
+// PartitionByCols builds a Partition function hashing the given column
+// positions (per input source).
+func PartitionByCols(colsPerSrc [][]int) func(Row, int) uint64 {
+	return func(r Row, src int) uint64 {
+		return temporal.HashRow(r, colsPerSrc[src])
+	}
+}

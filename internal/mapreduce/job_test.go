@@ -1,0 +1,391 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"timr/internal/temporal"
+)
+
+func kvSchema() *Schema {
+	return temporal.NewSchema(
+		temporal.Field{Name: "K", Kind: temporal.KindInt},
+		temporal.Field{Name: "V", Kind: temporal.KindInt},
+	)
+}
+
+func kvRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{temporal.Int(int64(i % 7)), temporal.Int(int64(i))}
+	}
+	return rows
+}
+
+// sumStage groups by K and sums V — the canonical word-count-shaped job.
+func sumStage(in, out string, nparts int) Stage {
+	return Stage{
+		Name: "sum", Inputs: []string{in}, Output: out, OutSchema: kvSchema(),
+		NumPartitions: nparts,
+		Partition:     PartitionByCols([][]int{{0}}),
+		Reduce: func(part int, in [][]Row, emit func(Row)) error {
+			sums := map[int64]int64{}
+			for _, r := range in[0] {
+				sums[r[0].AsInt()] += r[1].AsInt()
+			}
+			keys := make([]int64, 0, len(sums))
+			for k := range sums {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				emit(Row{temporal.Int(k), temporal.Int(sums[k])})
+			}
+			return nil
+		},
+	}
+}
+
+func expectSums(t *testing.T, fs *FS, name string, n int) {
+	t.Helper()
+	got := map[int64]int64{}
+	for _, r := range fs.MustRead(name).Flatten() {
+		got[r[0].AsInt()] = r[1].AsInt()
+	}
+	want := map[int64]int64{}
+	for i := 0; i < n; i++ {
+		want[int64(i%7)] += int64(i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d: got %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestFSBasics(t *testing.T) {
+	fs := NewFS()
+	if _, err := fs.Read("nope"); err == nil {
+		t.Error("Read of missing dataset must error")
+	}
+	ds := SinglePartition(kvSchema(), kvRows(10))
+	fs.Write("a", ds)
+	fs.Write("b", ds)
+	if got := fs.List(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("List = %v", got)
+	}
+	if fs.MustRead("a").Rows() != 10 {
+		t.Error("Rows")
+	}
+	fs.Delete("a")
+	if _, err := fs.Read("a"); err == nil {
+		t.Error("deleted dataset still readable")
+	}
+}
+
+func TestDatasetFlatten(t *testing.T) {
+	d := &Dataset{Schema: kvSchema(), Partitions: [][]Row{kvRows(3), kvRows(2)}}
+	if d.Rows() != 5 || len(d.Flatten()) != 5 {
+		t.Errorf("Rows/Flatten mismatch")
+	}
+}
+
+func TestSimpleJob(t *testing.T) {
+	c := NewCluster(Config{Machines: 4})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(100)))
+	stat, err := c.Run(sumStage("in", "out", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSums(t, c.FS, "out", 100)
+	st := stat.Stages[0]
+	if st.InputRows != 100 || st.ShuffleRows != 100 {
+		t.Errorf("accounting: %+v", st)
+	}
+	if st.OutputRows != 7 {
+		t.Errorf("OutputRows = %d", st.OutputRows)
+	}
+}
+
+func TestPartitionGrouping(t *testing.T) {
+	// Rows with the same key must always land in the same reducer call.
+	c := NewCluster(Config{Machines: 8})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(200)))
+	seen := map[int64]int{} // key -> partition
+	stage := Stage{
+		Name: "check", Inputs: []string{"in"}, Output: "out", OutSchema: kvSchema(),
+		NumPartitions: 5,
+		Partition:     PartitionByCols([][]int{{0}}),
+		Reduce: func(part int, in [][]Row, emit func(Row)) error {
+			for _, r := range in[0] {
+				emit(Row{r[0], temporal.Int(int64(part))})
+			}
+			return nil
+		},
+	}
+	if _, err := c.Run(stage); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.FS.MustRead("out").Flatten() {
+		k, p := r[0].AsInt(), int(r[1].AsInt())
+		if prev, ok := seen[k]; ok && prev != p {
+			t.Fatalf("key %d split across partitions %d and %d", k, prev, p)
+		}
+		seen[k] = p
+	}
+}
+
+func TestMultiStageJob(t *testing.T) {
+	c := NewCluster(Config{Machines: 4})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(50)))
+	// Stage 1: identity repartition; stage 2: sum.
+	ident := Stage{
+		Name: "ident", Inputs: []string{"in"}, Output: "mid", OutSchema: kvSchema(),
+		Partition: PartitionByCols([][]int{{1}}),
+		Reduce: func(part int, in [][]Row, emit func(Row)) error {
+			for _, r := range in[0] {
+				emit(r)
+			}
+			return nil
+		},
+	}
+	stat, err := c.Run(ident, sumStage("mid", "out", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stat.Stages) != 2 {
+		t.Fatalf("stages = %d", len(stat.Stages))
+	}
+	expectSums(t, c.FS, "out", 50)
+}
+
+func TestMultipleInputs(t *testing.T) {
+	c := NewCluster(Config{Machines: 2})
+	c.FS.Write("a", SinglePartition(kvSchema(), kvRows(10)))
+	c.FS.Write("b", SinglePartition(kvSchema(), kvRows(20)))
+	stage := Stage{
+		Name: "join", Inputs: []string{"a", "b"}, Output: "out", OutSchema: kvSchema(),
+		NumPartitions: 3,
+		Partition:     PartitionByCols([][]int{{0}, {0}}),
+		Reduce: func(part int, in [][]Row, emit func(Row)) error {
+			emit(Row{temporal.Int(int64(len(in[0]))), temporal.Int(int64(len(in[1])))})
+			return nil
+		},
+	}
+	if _, err := c.Run(stage); err != nil {
+		t.Fatal(err)
+	}
+	var a, b int64
+	for _, r := range c.FS.MustRead("out").Flatten() {
+		a += r[0].AsInt()
+		b += r[1].AsInt()
+	}
+	if a != 10 || b != 20 {
+		t.Errorf("per-source rows: %d, %d", a, b)
+	}
+}
+
+func TestFailureInjectionRetriesToSameOutput(t *testing.T) {
+	// The repeatability property: with deterministic reducers, output
+	// under failures+restarts must equal the failure-free output.
+	run := func(failRate float64, seed int64) map[int64]int64 {
+		c := NewCluster(Config{Machines: 4, FailureRate: failRate, Seed: seed, MaxAttempts: 50})
+		c.FS.Write("in", SinglePartition(kvSchema(), kvRows(100)))
+		stat, err := c.Run(sumStage("in", "out", 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failRate > 0 {
+			total := 0
+			for _, s := range stat.Stages {
+				total += s.Failures
+			}
+			if total == 0 {
+				t.Log("warning: no failures injected at rate", failRate)
+			}
+		}
+		out := map[int64]int64{}
+		for _, r := range c.FS.MustRead("out").Flatten() {
+			out[r[0].AsInt()] = r[1].AsInt()
+		}
+		return out
+	}
+	clean := run(0, 1)
+	for seed := int64(1); seed <= 5; seed++ {
+		faulty := run(0.5, seed)
+		if len(faulty) != len(clean) {
+			t.Fatalf("seed %d: divergent output size", seed)
+		}
+		for k, v := range clean {
+			if faulty[k] != v {
+				t.Fatalf("seed %d: key %d: %d != %d", seed, k, faulty[k], v)
+			}
+		}
+	}
+}
+
+func TestReducerErrorPropagates(t *testing.T) {
+	c := NewCluster(Config{Machines: 2})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(10)))
+	stage := Stage{
+		Name: "boom", Inputs: []string{"in"}, Output: "out", OutSchema: kvSchema(),
+		NumPartitions: 1,
+		Partition:     func(Row, int) uint64 { return 0 },
+		Reduce: func(int, [][]Row, func(Row)) error {
+			return fmt.Errorf("kaput")
+		},
+	}
+	if _, err := c.Run(stage); err == nil {
+		t.Fatal("reducer error must fail the job")
+	}
+}
+
+func TestPersistentFailureExhaustsAttempts(t *testing.T) {
+	c := NewCluster(Config{Machines: 1, FailureRate: 1.0, MaxAttempts: 3, Seed: 7})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(5)))
+	_, err := c.Run(sumStage("in", "out", 1))
+	if err == nil {
+		t.Fatal("always-failing reducer must exhaust attempts")
+	}
+}
+
+func TestMissingInputErrors(t *testing.T) {
+	c := NewCluster(Config{Machines: 1})
+	if _, err := c.Run(sumStage("ghost", "out", 1)); err == nil {
+		t.Fatal("missing input must error")
+	}
+}
+
+func TestEmptyPartitionsSkipped(t *testing.T) {
+	c := NewCluster(Config{Machines: 4})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(3))) // keys 0,1,2 only
+	stat, err := c.Run(sumStage("in", "out", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(stat.Stages[0].Tasks); got > 3 {
+		t.Errorf("expected <= 3 reducer tasks, got %d", got)
+	}
+}
+
+func TestMakespanScaling(t *testing.T) {
+	st := StageStat{ShuffleRows: 0}
+	for i := 0; i < 16; i++ {
+		st.Tasks = append(st.Tasks, TaskStat{Duration: time.Second})
+	}
+	if got := st.Makespan(1, 0); got != 16*time.Second {
+		t.Errorf("1 machine: %v", got)
+	}
+	if got := st.Makespan(4, 0); got != 4*time.Second {
+		t.Errorf("4 machines: %v", got)
+	}
+	if got := st.Makespan(16, 0); got != time.Second {
+		t.Errorf("16 machines: %v", got)
+	}
+	if got := st.Makespan(100, 0); got != time.Second {
+		t.Errorf("more machines than tasks: %v", got)
+	}
+}
+
+func TestMakespanShuffleCost(t *testing.T) {
+	st := StageStat{ShuffleRows: 1000}
+	st.Tasks = append(st.Tasks, TaskStat{Duration: time.Millisecond})
+	with := st.Makespan(2, time.Microsecond)
+	without := st.Makespan(2, 0)
+	if with <= without {
+		t.Error("shuffle cost not charged")
+	}
+	if with-without != 500*time.Microsecond {
+		t.Errorf("shuffle charge = %v", with-without)
+	}
+}
+
+func TestJobMakespanSumsStages(t *testing.T) {
+	j := JobStat{Stages: []StageStat{
+		{Tasks: []TaskStat{{Duration: time.Second}}},
+		{Tasks: []TaskStat{{Duration: 2 * time.Second}}},
+	}}
+	if got := j.Makespan(4, 0); got != 3*time.Second {
+		t.Errorf("job makespan = %v", got)
+	}
+}
+
+func TestMultiPartitionReplication(t *testing.T) {
+	// A row replicated into two partitions must be seen by both reducers,
+	// and ShuffleRows must account for the duplication.
+	c := NewCluster(Config{Machines: 2})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(10)))
+	stage := Stage{
+		Name: "dup", Inputs: []string{"in"}, Output: "out", OutSchema: kvSchema(),
+		NumPartitions: 2,
+		MultiPartition: func(r Row, src, nparts int) []int {
+			return []int{0, 1} // every row goes everywhere
+		},
+		Reduce: func(part int, in [][]Row, emit func(Row)) error {
+			emit(Row{temporal.Int(int64(part)), temporal.Int(int64(len(in[0])))})
+			return nil
+		},
+	}
+	stat, err := c.Run(stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Stages[0].ShuffleRows != 20 {
+		t.Errorf("ShuffleRows = %d, want 20", stat.Stages[0].ShuffleRows)
+	}
+	for _, r := range c.FS.MustRead("out").Flatten() {
+		if r[1].AsInt() != 10 {
+			t.Errorf("partition %d saw %d rows, want 10", r[0].AsInt(), r[1].AsInt())
+		}
+	}
+}
+
+func TestPropertyPartitioningIsDeterministic(t *testing.T) {
+	err := quick.Check(func(k, v int64) bool {
+		r := Row{temporal.Int(k), temporal.Int(v)}
+		f := PartitionByCols([][]int{{0}})
+		return f(r, 0) == f(r, 0)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJobEquivalentAcrossPartitionCounts(t *testing.T) {
+	// The sum job's result must be independent of the partition count.
+	err := quick.Check(func(nRaw uint8, partsRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		nparts := int(partsRaw)%16 + 1
+		c := NewCluster(Config{Machines: 4})
+		c.FS.Write("in", SinglePartition(kvSchema(), kvRows(n)))
+		if _, err := c.Run(sumStage("in", "out", nparts)); err != nil {
+			return false
+		}
+		got := map[int64]int64{}
+		for _, r := range c.FS.MustRead("out").Flatten() {
+			got[r[0].AsInt()] = r[1].AsInt()
+		}
+		want := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			want[int64(i%7)] += int64(i)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package ml implements the model-building and scoring stage of the
+// paper's BT pipeline (§IV-B.4): sparse logistic regression trained on
+// balanced samples of (UBP, click) examples, CTR calibration against a
+// validation set, and the CTR-lift / coverage evaluation used throughout
+// the paper's Figures 21–23.
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"timr/internal/stats"
+)
+
+// Feature is one sparse dimension of a user behavior profile: the feature
+// id (keyword/URL id after data reduction) and its weight (typically the
+// count of occurrences within the profile window τ).
+type Feature struct {
+	ID  int64
+	Val float64
+}
+
+// Example is one training observation: the UBP x_k at the time the ad was
+// shown, and whether it was clicked (y_k). Features must be sorted by ID
+// (SortFeatures normalizes).
+type Example struct {
+	Features []Feature
+	Clicked  bool
+}
+
+// SortFeatures sorts a sparse vector by feature id, summing duplicates.
+func SortFeatures(fs []Feature) []Feature {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].ID < fs[j].ID })
+	out := fs[:0]
+	for _, f := range fs {
+		if n := len(out); n > 0 && out[n-1].ID == f.ID {
+			out[n-1].Val += f.Val
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// LRConfig configures training.
+type LRConfig struct {
+	Epochs       int     // SGD passes (default 50)
+	LearningRate float64 // initial step (default 0.1, decayed per epoch)
+	L2           float64 // ridge penalty (default 1e-4)
+	// Balance subsamples negatives to match the positive count before
+	// training ("we create a balanced dataset by sampling the negative
+	// examples", §IV-B.4). Calibrate afterwards to recover CTR estimates.
+	Balance bool
+	Seed    int64
+}
+
+// DefaultLRConfig mirrors the paper's setup.
+func DefaultLRConfig() LRConfig {
+	return LRConfig{Epochs: 50, LearningRate: 0.1, L2: 1e-4, Balance: true, Seed: 1}
+}
+
+// Model is a trained logistic-regression scorer: y = σ(w0 + wᵀx).
+type Model struct {
+	Bias    float64
+	Weights map[int64]float64
+	// Iterations actually run and final training loss, for diagnostics
+	// and the learning-time experiment (§V-D).
+	Epochs int
+	Loss   float64
+}
+
+// TrainLR fits a logistic regression by SGD with per-epoch learning-rate
+// decay. Training is deterministic for a fixed config and example order.
+func TrainLR(examples []Example, cfg LRConfig) *Model {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	data := examples
+	if cfg.Balance {
+		data = BalanceExamples(examples, rng)
+	}
+	m := &Model{Weights: make(map[int64]float64)}
+	if len(data) == 0 {
+		return m
+	}
+	order := rng.Perm(len(data))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		var loss float64
+		for _, i := range order {
+			ex := data[i]
+			p := m.score(ex.Features)
+			y := 0.0
+			if ex.Clicked {
+				y = 1.0
+			}
+			g := p - y // d(logloss)/d(margin)
+			m.Bias -= lr * g
+			for _, f := range ex.Features {
+				w := m.Weights[f.ID]
+				m.Weights[f.ID] = w - lr*(g*f.Val+cfg.L2*w)
+			}
+			if ex.Clicked {
+				loss -= math.Log(math.Max(p, 1e-12))
+			} else {
+				loss -= math.Log(math.Max(1-p, 1e-12))
+			}
+		}
+		m.Loss = loss / float64(len(data))
+		m.Epochs = epoch + 1
+	}
+	return m
+}
+
+// BalanceExamples keeps all positives and a uniform sample of negatives
+// of equal size (all negatives if there are fewer).
+func BalanceExamples(examples []Example, rng *rand.Rand) []Example {
+	var pos, neg []Example
+	for _, e := range examples {
+		if e.Clicked {
+			pos = append(pos, e)
+		} else {
+			neg = append(neg, e)
+		}
+	}
+	if len(neg) > len(pos) && len(pos) > 0 {
+		idx := rng.Perm(len(neg))[:len(pos)]
+		sort.Ints(idx)
+		sampled := make([]Example, len(idx))
+		for i, j := range idx {
+			sampled[i] = neg[j]
+		}
+		neg = sampled
+	}
+	return append(append([]Example(nil), pos...), neg...)
+}
+
+func (m *Model) score(fs []Feature) float64 {
+	s := m.Bias
+	for _, f := range fs {
+		s += m.Weights[f.ID] * f.Val
+	}
+	return stats.Sigmoid(s)
+}
+
+// Predict returns σ(w0 + wᵀx): the model's click propensity for a UBP.
+// On a balanced-trained model this is not the CTR — calibrate with
+// Calibrator to compare across ads (§IV-B.4).
+func (m *Model) Predict(fs []Feature) float64 { return m.score(fs) }
+
+// NumWeights returns the model dimensionality (for the memory experiment).
+func (m *Model) NumWeights() int { return len(m.Weights) }
+
+// Calibrator maps raw balanced-model predictions to CTR estimates: "we
+// compute predictions for a separate validation dataset, choose the k
+// nearest validation examples with predictions closest to y, and estimate
+// CTR as the fraction of positive examples in this set."
+type Calibrator struct {
+	preds  []float64 // sorted
+	labels []bool    // aligned with preds
+	k      int
+}
+
+// NewCalibrator indexes a validation set. k defaults to 100.
+func NewCalibrator(preds []float64, labels []bool, k int) *Calibrator {
+	if len(preds) != len(labels) {
+		panic("ml: preds/labels length mismatch")
+	}
+	if k <= 0 {
+		k = 100
+	}
+	idx := make([]int, len(preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return preds[idx[i]] < preds[idx[j]] })
+	c := &Calibrator{k: k, preds: make([]float64, len(preds)), labels: make([]bool, len(labels))}
+	for i, j := range idx {
+		c.preds[i] = preds[j]
+		c.labels[i] = labels[j]
+	}
+	return c
+}
+
+// CTR estimates the click-through rate at a raw prediction y via the k
+// nearest validation predictions.
+func (c *Calibrator) CTR(y float64) float64 {
+	n := len(c.preds)
+	if n == 0 {
+		return 0
+	}
+	k := c.k
+	if k > n {
+		k = n
+	}
+	// Locate the insertion point, then expand a window of size k around it.
+	pos := sort.SearchFloat64s(c.preds, y)
+	lo, hi := pos, pos // window [lo, hi)
+	for hi-lo < k {
+		switch {
+		case lo == 0:
+			hi++
+		case hi == n:
+			lo--
+		case y-c.preds[lo-1] <= c.preds[hi]-y:
+			lo--
+		default:
+			hi++
+		}
+	}
+	clicks := 0
+	for i := lo; i < hi; i++ {
+		if c.labels[i] {
+			clicks++
+		}
+	}
+	return float64(clicks) / float64(k)
+}

@@ -1,0 +1,261 @@
+package temporal
+
+import "fmt"
+
+// Pipeline is a compiled physical query: one entry Sink per named source
+// plus the caller-supplied output sink. Feeding events (nondecreasing LE
+// per source), CTIs and a final flush drives the query to completion.
+type Pipeline struct {
+	inputs  map[string]Sink
+	schemas map[string]*Schema
+	out     *Schema
+}
+
+// Input returns the entry sink for the named source.
+func (p *Pipeline) Input(source string) Sink {
+	in, ok := p.inputs[source]
+	if !ok {
+		panic("temporal: pipeline has no source " + source)
+	}
+	return in
+}
+
+// Sources lists the pipeline's source names.
+func (p *Pipeline) Sources() []string {
+	out := make([]string, 0, len(p.inputs))
+	for s := range p.inputs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SourceSchema returns the schema of a named source.
+func (p *Pipeline) SourceSchema(source string) *Schema { return p.schemas[source] }
+
+// OutSchema returns the schema of the pipeline's output events.
+func (p *Pipeline) OutSchema() *Schema { return p.out }
+
+// AdvanceAll broadcasts a CTI to every source entry. Callers use it to
+// bound operator state and unblock merge operators between events.
+func (p *Pipeline) AdvanceAll(t Time) {
+	for _, in := range p.inputs {
+		in.OnCTI(t)
+	}
+}
+
+// FlushAll signals end-of-stream on every source entry.
+func (p *Pipeline) FlushAll() {
+	for _, in := range p.inputs {
+		in.OnFlush()
+	}
+}
+
+// Compile turns a logical plan into a physical pipeline delivering results
+// to out. Plans may be DAGs; shared nodes become physical multicasts.
+func Compile(root *Plan, out Sink) (*Pipeline, error) {
+	c := &compiler{
+		parents: make(map[*Plan][]parentRef),
+		ops:     make(map[*Plan][]Sink),
+		root:    root,
+		rootOut: out,
+	}
+	c.collectParents(root, make(map[*Plan]bool))
+	pl := &Pipeline{inputs: make(map[string]Sink), schemas: make(map[string]*Schema), out: root.Out}
+	// Group scan leaves by source: one feed may supply several leaves.
+	// Only this plan's own DAG is walked; GroupApply sub-plans have their
+	// own leaves and are compiled per group.
+	bySource := make(map[string][]*Plan)
+	walkInputs(root, func(n *Plan) {
+		if n.Kind == OpScan {
+			bySource[n.Source] = append(bySource[n.Source], n)
+		}
+		if n.Kind == OpGroupInput {
+			panic("temporal: GroupInput leaf outside a GroupApply sub-plan")
+		}
+	})
+	if len(bySource) == 0 {
+		return nil, fmt.Errorf("temporal: plan has no scan leaves")
+	}
+	for source, leaves := range bySource {
+		sinks := make([]Sink, len(leaves))
+		for i, leaf := range leaves {
+			sinks[i] = c.outputSink(leaf)
+			if !leaf.Out.Equal(leaves[0].Out) {
+				return nil, fmt.Errorf("temporal: source %s scanned with conflicting schemas", source)
+			}
+		}
+		pl.inputs[source] = fanOut(sinks)
+		pl.schemas[source] = leaves[0].Out
+	}
+	return pl, nil
+}
+
+type parentRef struct {
+	node *Plan
+	idx  int
+}
+
+type compiler struct {
+	parents map[*Plan][]parentRef
+	ops     map[*Plan][]Sink // node -> entry sink per input position
+	root    *Plan
+	rootOut Sink
+}
+
+func (c *compiler) collectParents(n *Plan, seen map[*Plan]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	for i, in := range n.Inputs {
+		c.parents[in] = append(c.parents[in], parentRef{node: n, idx: i})
+		c.collectParents(in, seen)
+	}
+	// Sub-plans are compiled per group by the GroupApply factory, with
+	// their own compiler; they are not visited here.
+}
+
+// outputSink returns the sink that consumes node n's output stream.
+func (c *compiler) outputSink(n *Plan) Sink {
+	var sinks []Sink
+	if n == c.root {
+		sinks = append(sinks, c.rootOut)
+	}
+	for _, p := range c.parents[n] {
+		sinks = append(sinks, c.inputSink(p.node, p.idx))
+	}
+	if len(sinks) == 0 {
+		panic("temporal: orphan plan node " + n.Kind.String())
+	}
+	return fanOut(sinks)
+}
+
+func fanOut(sinks []Sink) Sink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	return &multicast{outs: sinks}
+}
+
+// inputSink returns the entry sink for the idx-th input of node n,
+// building n's physical operator on first use.
+func (c *compiler) inputSink(n *Plan, idx int) Sink {
+	entries, ok := c.ops[n]
+	if !ok {
+		entries = c.build(n)
+		c.ops[n] = entries
+	}
+	return entries[idx]
+}
+
+// build constructs the physical operator for n, wired to n's downstream,
+// and returns the entry sink(s) for its input position(s).
+func (c *compiler) build(n *Plan) []Sink {
+	out := c.outputSink(n)
+	in := n.Inputs[0].Out // schema of the first input
+	switch n.Kind {
+	case OpSelect:
+		return []Sink{&filterOp{pred: n.Pred.compile(in), out: out}}
+	case OpProject:
+		fns := make([]func(Row) Value, len(n.Projs))
+		for i, pr := range n.Projs {
+			if pr.Source != "" {
+				col := in.MustIndex(pr.Source)
+				fns[i] = func(r Row) Value { return r[col] }
+			} else {
+				fns[i] = pr.Make(in.Indexes(pr.Cols...))
+			}
+		}
+		return []Sink{&projectOp{fns: fns, out: out}}
+	case OpAlterLifetime:
+		return []Sink{&alterLifetimeOp{mode: n.Mode, window: n.Window, hop: n.Hop, shift: n.Shift, out: out}}
+	case OpAggregate:
+		col := -1
+		var kind Kind
+		if n.AggCol != "" {
+			col = in.MustIndex(n.AggCol)
+			kind = in.Field(col).Kind
+		}
+		return []Sink{newAggregateOp(newAggState(n.Agg, col, kind), out)}
+	case OpGroupApply:
+		keys := in.Indexes(n.Keys...)
+		sub := n.Sub
+		factory := func(groupOut Sink) Sink {
+			entry, err := compileSub(sub, groupOut)
+			if err != nil {
+				panic(err) // sub-plan validated at first compile; cannot fail per group
+			}
+			return entry
+		}
+		return []Sink{newGroupApplyOp(keys, factory, sub.MaxWindow(), out)}
+	case OpUnion:
+		u := newUnionOp(out)
+		return []Sink{u.m.input(sideLeft), u.m.input(sideRight)}
+	case OpTemporalJoin:
+		rin := n.Inputs[1].Out
+		var cond func(l, r Row) bool
+		if n.JoinCond != nil {
+			cond = n.JoinCond.Make(in.Indexes(n.JoinCond.LeftCols...), rin.Indexes(n.JoinCond.RightCols...))
+		}
+		j := newTemporalJoinOp(in.Indexes(n.Keys...), rin.Indexes(n.RightKeys...), cond, out)
+		return []Sink{j.m.input(sideLeft), j.m.input(sideRight)}
+	case OpAntiSemiJoin:
+		rin := n.Inputs[1].Out
+		a := newAntiSemiJoinOp(in.Indexes(n.Keys...), rin.Indexes(n.RightKeys...), out)
+		return []Sink{a.m.input(sideLeft), a.m.input(sideRight)}
+	case OpUDO:
+		return []Sink{newHoppingUDOOp(n.UDO, out)}
+	case OpExchange:
+		// Logical annotation only; a single-node pipeline passes through.
+		return []Sink{out}
+	default:
+		panic("temporal: cannot build operator for " + n.Kind.String())
+	}
+}
+
+// walkInputs visits the plan DAG following only Inputs edges (not
+// GroupApply sub-plans), each shared node once.
+func walkInputs(root *Plan, visit func(*Plan)) {
+	seen := make(map[*Plan]bool)
+	var rec func(n *Plan)
+	rec = func(n *Plan) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		visit(n)
+		for _, c := range n.Inputs {
+			rec(c)
+		}
+	}
+	rec(root)
+}
+
+// compileSub compiles a GroupApply sub-plan (rooted above an OpGroupInput
+// leaf) and returns the entry sink feeding the group's sub-stream.
+func compileSub(root *Plan, out Sink) (Sink, error) {
+	c := &compiler{
+		parents: make(map[*Plan][]parentRef),
+		ops:     make(map[*Plan][]Sink),
+		root:    root,
+		rootOut: out,
+	}
+	c.collectParents(root, make(map[*Plan]bool))
+	var leaves []*Plan
+	walkInputs(root, func(n *Plan) {
+		if n.Kind == OpGroupInput {
+			leaves = append(leaves, n)
+		}
+		if n.Kind == OpScan {
+			panic("temporal: Scan leaf inside a GroupApply sub-plan")
+		}
+	})
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("temporal: sub-plan has no GroupInput leaf")
+	}
+	sinks := make([]Sink, len(leaves))
+	for i, leaf := range leaves {
+		sinks[i] = c.outputSink(leaf)
+	}
+	return fanOut(sinks), nil
+}

@@ -1,0 +1,161 @@
+package temporal
+
+import "sort"
+
+// Engine hosts a compiled pipeline together with a result collector. It is
+// the "embedded DSMS server instance" that TiMR creates inside reducers
+// (paper §III-A step 4) and that the real-time example drives directly.
+//
+// An Engine is single-threaded by design, like one StreamInsight instance;
+// parallelism comes from running many engines over partitions (TiMR) —
+// exactly the paper's architecture.
+type Engine struct {
+	pipeline *Pipeline
+	collect  *Collector
+	sink     Sink
+	// CTIPeriod controls automatic punctuation injection by FeedSorted:
+	// a CTI is broadcast whenever application time advances by this much.
+	// Zero disables automatic CTIs (state is bounded only by Flush).
+	CTIPeriod Time
+	lastCTI   Time
+}
+
+// NewEngine compiles the plan with an internal collector for results.
+func NewEngine(plan *Plan) (*Engine, error) {
+	col := &Collector{}
+	p, err := Compile(plan, col)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{pipeline: p, collect: col, sink: col, CTIPeriod: Hour, lastCTI: MinTime}, nil
+}
+
+// NewEngineTo compiles the plan delivering results to a caller-supplied
+// sink (e.g. a live dashboard in the real-time examples).
+func NewEngineTo(plan *Plan, out Sink) (*Engine, error) {
+	p, err := Compile(plan, out)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{pipeline: p, sink: out, CTIPeriod: Hour, lastCTI: MinTime}, nil
+}
+
+// Pipeline exposes the compiled pipeline.
+func (e *Engine) Pipeline() *Pipeline { return e.pipeline }
+
+// Feed pushes one event into the named source.
+func (e *Engine) Feed(source string, ev Event) {
+	e.pipeline.Input(source).OnEvent(ev)
+	e.maybeCTI(ev.LE)
+}
+
+func (e *Engine) maybeCTI(t Time) {
+	if e.CTIPeriod <= 0 {
+		return
+	}
+	if e.lastCTI == MinTime {
+		e.lastCTI = t
+		return
+	}
+	if t-e.lastCTI >= e.CTIPeriod {
+		e.pipeline.AdvanceAll(t)
+		e.lastCTI = t
+	}
+}
+
+// Advance broadcasts a CTI at time t to every source.
+func (e *Engine) Advance(t Time) {
+	e.pipeline.AdvanceAll(t)
+	e.lastCTI = t
+}
+
+// Flush ends all inputs, draining buffered state.
+func (e *Engine) Flush() { e.pipeline.FlushAll() }
+
+// Results returns the collected output, coalesced and sorted, when the
+// engine was built with NewEngine.
+func (e *Engine) Results() []Event {
+	if e.collect == nil {
+		return nil
+	}
+	return Coalesce(e.collect.Events)
+}
+
+// RawResults returns output events as emitted (fragmented at CTI
+// boundaries), sorted.
+func (e *Engine) RawResults() []Event {
+	if e.collect == nil {
+		return nil
+	}
+	out := append([]Event(nil), e.collect.Events...)
+	SortEvents(out)
+	return out
+}
+
+// SourceEvent pairs an event with the source it belongs to, for
+// multi-source runs.
+type SourceEvent struct {
+	Source string
+	Event  Event
+}
+
+// FeedSorted feeds a batch of source events in global LE order (sorting
+// through an index vector if needed, which keeps equal-timestamp order
+// stable without shuffling the events themselves), injecting CTIs every
+// CTIPeriod of application time.
+func (e *Engine) FeedSorted(events []SourceEvent) {
+	ordered := sort.SliceIsSorted(events, func(i, j int) bool {
+		return events[i].Event.LE < events[j].Event.LE
+	})
+	if ordered {
+		for i := range events {
+			e.Feed(events[i].Source, events[i].Event)
+		}
+		return
+	}
+	order := make([]int32, len(events))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return events[order[i]].Event.LE < events[order[j]].Event.LE
+	})
+	for _, ix := range order {
+		e.Feed(events[ix].Source, events[ix].Event)
+	}
+}
+
+// RunPlan compiles and runs a plan over per-source event batches and
+// returns coalesced, sorted results. It is the one-call path used
+// throughout the tests and examples.
+func RunPlan(plan *Plan, inputs map[string][]Event) ([]Event, error) {
+	eng, err := NewEngine(plan)
+	if err != nil {
+		return nil, err
+	}
+	var all []SourceEvent
+	for src, evs := range inputs {
+		if _, ok := eng.pipeline.inputs[src]; !ok {
+			continue // input not referenced by the plan
+		}
+		for _, ev := range evs {
+			all = append(all, SourceEvent{Source: src, Event: ev})
+		}
+	}
+	eng.FeedSorted(all)
+	eng.Flush()
+	return eng.Results(), nil
+}
+
+// RowsToPointEvents converts rows to point events using the values of the
+// given time column (paper §III-A step 4: "sets event lifetime to
+// [Time, Time+δ) and the payload to the remaining columns" — we keep the
+// time column in the payload, matching the unified schema of Figure 9
+// where queries filter on it too).
+func RowsToPointEvents(rows []Row, timeCol int) []Event {
+	out := make([]Event, len(rows))
+	for i, r := range rows {
+		out[i] = PointEvent(r[timeCol].AsInt(), r)
+	}
+	return out
+}

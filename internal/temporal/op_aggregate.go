@@ -1,0 +1,290 @@
+package temporal
+
+import "container/heap"
+
+// aggState is the incremental state of one snapshot aggregate. Insert and
+// Remove must be exact inverses so that the sweep over snapshot boundaries
+// yields the same result regardless of event interleaving.
+type aggState interface {
+	Insert(Row)
+	Remove(Row)
+	Result() Value
+}
+
+// ---- Count ----
+
+type countState struct{ n int64 }
+
+func (s *countState) Insert(Row)   { s.n++ }
+func (s *countState) Remove(Row)   { s.n-- }
+func (s *countState) Result() Value { return Int(s.n) }
+
+// ---- Sum / Avg ----
+
+type sumState struct {
+	col     int
+	isFloat bool
+	i       int64
+	f       float64
+}
+
+func (s *sumState) Insert(r Row) {
+	if s.isFloat {
+		s.f += r[s.col].AsFloat()
+	} else {
+		s.i += r[s.col].AsInt()
+	}
+}
+func (s *sumState) Remove(r Row) {
+	if s.isFloat {
+		s.f -= r[s.col].AsFloat()
+	} else {
+		s.i -= r[s.col].AsInt()
+	}
+}
+func (s *sumState) Result() Value {
+	if s.isFloat {
+		return Float(s.f)
+	}
+	return Int(s.i)
+}
+
+type avgState struct {
+	col int
+	n   int64
+	f   float64
+}
+
+func (s *avgState) Insert(r Row) { s.f += r[s.col].AsFloat(); s.n++ }
+func (s *avgState) Remove(r Row) { s.f -= r[s.col].AsFloat(); s.n-- }
+func (s *avgState) Result() Value {
+	if s.n == 0 {
+		return Float(0)
+	}
+	return Float(s.f / float64(s.n))
+}
+
+// ---- Min / Max ----
+//
+// Min/Max cannot be maintained by a single accumulator under removals; we
+// keep a multiset (Value is comparable, so it keys a map directly) plus a
+// lazily-cleaned heap of candidate extrema.
+
+type valueHeap struct {
+	vals []Value
+	max  bool
+}
+
+func (h valueHeap) Len() int { return len(h.vals) }
+func (h valueHeap) Less(i, j int) bool {
+	c := h.vals[i].Compare(h.vals[j])
+	if h.max {
+		return c > 0
+	}
+	return c < 0
+}
+func (h valueHeap) Swap(i, j int)      { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
+func (h *valueHeap) Push(x interface{}) { h.vals = append(h.vals, x.(Value)) }
+func (h *valueHeap) Pop() interface{} {
+	old := h.vals
+	n := len(old)
+	v := old[n-1]
+	h.vals = old[:n-1]
+	return v
+}
+
+type minMaxState struct {
+	col    int
+	counts map[Value]int
+	h      valueHeap
+}
+
+func newMinMaxState(col int, max bool) *minMaxState {
+	return &minMaxState{col: col, counts: make(map[Value]int), h: valueHeap{max: max}}
+}
+
+func (s *minMaxState) Insert(r Row) {
+	v := r[s.col]
+	s.counts[v]++
+	heap.Push(&s.h, v)
+}
+
+func (s *minMaxState) Remove(r Row) {
+	v := r[s.col]
+	if n := s.counts[v]; n <= 1 {
+		delete(s.counts, v)
+	} else {
+		s.counts[v] = n - 1
+	}
+}
+
+func (s *minMaxState) Result() Value {
+	for s.h.Len() > 0 {
+		top := s.h.vals[0]
+		if s.counts[top] > 0 {
+			return top
+		}
+		heap.Pop(&s.h) // stale entry from a removed event
+	}
+	return Null
+}
+
+func newAggState(kind AggKind, col int, colKind Kind) aggState {
+	switch kind {
+	case AggCount:
+		return &countState{}
+	case AggSum:
+		return &sumState{col: col, isFloat: colKind == KindFloat}
+	case AggAvg:
+		return &avgState{col: col}
+	case AggMin:
+		return newMinMaxState(col, false)
+	case AggMax:
+		return newMinMaxState(col, true)
+	}
+	panic("temporal: unknown aggregate")
+}
+
+// expiration orders active events by their right endpoint for the sweep.
+type expiration struct {
+	re  Time
+	row Row
+}
+
+type expHeap []expiration
+
+func (h expHeap) Len() int            { return len(h) }
+func (h expHeap) Less(i, j int) bool  { return h[i].re < h[j].re }
+func (h expHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expHeap) Push(x interface{}) { *h = append(*h, x.(expiration)) }
+func (h *expHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// aggregateOp implements snapshot aggregation (paper §II-A.2): it sweeps
+// the LE-ordered input, maintaining the set of active events (those whose
+// lifetime contains the sweep position) and emits one output event per
+// maximal interval over which the aggregate is constant and the active set
+// is non-empty.
+//
+// On OnCTI(t) the operator force-closes the open segment at t. This
+// fragments logically-contiguous output events at CTI boundaries — a
+// semantically neutral transformation under snapshot semantics (see
+// Coalesce) — and is what gives every operator the invariant
+// "output watermark >= input watermark" that GroupApply's order-restoring
+// merge relies on.
+type aggregateOp struct {
+	state  aggState
+	exp    expHeap
+	active int
+	cur    Time // start of the open segment
+	arena  rowArena
+	out    Sink
+}
+
+func newAggregateOp(state aggState, out Sink) *aggregateOp {
+	return &aggregateOp{state: state, cur: MinTime, out: out}
+}
+
+func (a *aggregateOp) emitSegment(upto Time) {
+	if a.active > 0 && a.cur < upto {
+		payload := a.arena.alloc(1)
+		payload[0] = a.state.Result()
+		a.out.OnEvent(Event{LE: a.cur, RE: upto, Payload: payload})
+	}
+	if upto > a.cur {
+		a.cur = upto
+	}
+}
+
+// advanceTo processes all expirations at or before t, emitting the
+// segments they close.
+func (a *aggregateOp) advanceTo(t Time) {
+	for len(a.exp) > 0 && a.exp[0].re <= t {
+		re := a.exp[0].re
+		a.emitSegment(re)
+		for len(a.exp) > 0 && a.exp[0].re == re {
+			x := heap.Pop(&a.exp).(expiration)
+			a.state.Remove(x.row)
+			a.active--
+		}
+	}
+}
+
+func (a *aggregateOp) OnEvent(e Event) {
+	a.advanceTo(e.LE)
+	a.emitSegment(e.LE)
+	a.state.Insert(e.Payload)
+	heap.Push(&a.exp, expiration{re: e.RE, row: e.Payload})
+	a.active++
+	a.cur = maxTime(a.cur, e.LE)
+}
+
+func (a *aggregateOp) OnCTI(t Time) {
+	a.advanceTo(t)
+	a.emitSegment(t) // force-close so downstream watermark can advance
+	a.out.OnCTI(t)
+}
+
+func (a *aggregateOp) OnFlush() {
+	a.advanceTo(MaxTime)
+	a.out.OnFlush()
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Coalesce merges abutting events with equal payloads ([a,b)+[b,c) with
+// the same row become [a,c)). Snapshot aggregates fragmented by CTIs are
+// restored to canonical form; the input must be sorted (SortEvents order).
+func Coalesce(events []Event) []Event {
+	if len(events) == 0 {
+		return events
+	}
+	// Group by payload, then merge abutting lifetimes per payload. For the
+	// common case (already mostly ordered), a single pass keyed on payload
+	// via a pending map is enough: fragments of one logical event are
+	// emitted in LE order.
+	SortEvents(events)
+	type open struct {
+		idx int // position in out
+	}
+	out := make([]Event, 0, len(events))
+	pending := make(map[uint64][]int) // payload hash -> indexes in out still extendable
+	for _, e := range events {
+		h := HashSeed
+		for _, v := range e.Payload {
+			h = v.Hash(h)
+		}
+		merged := false
+		cand := pending[h]
+		for _, i := range cand {
+			if out[i].RE == e.LE && out[i].Payload.Equal(e.Payload) {
+				out[i].RE = e.RE
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, e)
+			pending[h] = append(pending[h], len(out)-1)
+		}
+	}
+	SortEvents(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package temporal
+
+import "container/heap"
+
+// groupApplyOp routes each input event to a per-group instance of the
+// compiled sub-plan (paper §II-A.2, Figure 4) and re-establishes global
+// LE order across group outputs.
+//
+// Ordering: each group's sub-pipeline emits in nondecreasing LE, but
+// different groups progress at different rates, so raw interleaving would
+// violate the engine's order contract. Group outputs are therefore staged
+// in a heap and released up to the watermark. The watermark only advances
+// on CTIs, which are broadcast to every group instance first: after a
+// group has seen OnCTI(t), every operator in this engine guarantees that
+// its future output has LE >= t (aggregates force-close their open segment
+// at t), so releasing staged events with LE < t is safe.
+type groupApplyOp struct {
+	keys    []int // key column positions in the input schema
+	factory func(out Sink) Sink
+	groups  map[uint64][]*groupInstance
+	staged  eventHeap
+	out     Sink
+	// maxExtent bounds how long a group's sub-pipeline can hold state
+	// after its last input event (the sub-plan's maximum window). Groups
+	// whose state horizon has passed — and that have received a CTI after
+	// it, flushing everything — are quiescent and skipped during CTI
+	// broadcast; with many groups (e.g. one per user) this turns the
+	// broadcast from O(groups) into O(active groups).
+	maxExtent Time
+	// Punctuations are a physical concern only — results are defined by
+	// application time — so the operator is free to thin them. It
+	// broadcasts at most once per gap (maxExtent/8): long-window
+	// sub-plans whose state never expires would otherwise pay a full
+	// O(groups) sweep on every CTI for no cleanup benefit. Swallowed
+	// CTIs delay downstream output release, never change it.
+	gap           Time
+	lastBroadcast Time
+	arena         rowArena
+}
+
+type groupInstance struct {
+	key     Row // key column values
+	entry   Sink
+	lastLE  Time // latest input event routed to this group
+	lastCTI Time // latest punctuation delivered to this group
+}
+
+func newGroupApplyOp(keys []int, factory func(out Sink) Sink, maxExtent Time, out Sink) *groupApplyOp {
+	return &groupApplyOp{
+		keys:          keys,
+		factory:       factory,
+		groups:        make(map[uint64][]*groupInstance),
+		out:           out,
+		maxExtent:     maxExtent,
+		gap:           maxExtent / 8,
+		lastBroadcast: MinTime,
+	}
+}
+
+// stageSink prepends the group key to sub-plan output rows and stages them.
+type stageSink struct {
+	op  *groupApplyOp
+	key Row
+}
+
+func (s *stageSink) OnEvent(e Event) {
+	e.Payload = s.op.arena.concat(s.key, e.Payload)
+	heap.Push(&s.op.staged, e)
+}
+func (s *stageSink) OnCTI(Time) {}
+func (s *stageSink) OnFlush()   {}
+
+func (g *groupApplyOp) instance(r Row) *groupInstance {
+	h := HashRow(r, g.keys)
+	for _, inst := range g.groups[h] {
+		if rowMatchesKey(r, g.keys, inst.key) {
+			return inst
+		}
+	}
+	key := make(Row, len(g.keys))
+	for i, c := range g.keys {
+		key[i] = r[c]
+	}
+	inst := &groupInstance{key: key, lastLE: MinTime, lastCTI: MinTime}
+	inst.entry = g.factory(&stageSink{op: g, key: key})
+	g.groups[h] = append(g.groups[h], inst)
+	return inst
+}
+
+// quiescent reports whether the instance can be skipped for punctuation:
+// its state horizon (last event + max window extent) has passed and a CTI
+// after that horizon has already flushed everything it will ever emit.
+func (inst *groupInstance) quiescent(maxExtent Time) bool {
+	return inst.lastCTI > inst.lastLE+maxExtent
+}
+
+func rowMatchesKey(r Row, cols []int, key Row) bool {
+	for i, c := range cols {
+		if !r[c].Equal(key[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *groupApplyOp) OnEvent(e Event) {
+	inst := g.instance(e.Payload)
+	if e.LE > inst.lastLE {
+		inst.lastLE = e.LE
+	}
+	inst.entry.OnEvent(e)
+}
+
+func (g *groupApplyOp) OnCTI(t Time) {
+	if g.lastBroadcast != MinTime && t < g.lastBroadcast+g.gap {
+		return // thinned; see the gap field
+	}
+	g.lastBroadcast = t
+	for _, bucket := range g.groups {
+		for _, inst := range bucket {
+			if inst.quiescent(g.maxExtent) {
+				continue
+			}
+			inst.entry.OnCTI(t)
+			inst.lastCTI = t
+		}
+	}
+	g.release(t)
+	g.out.OnCTI(t)
+}
+
+func (g *groupApplyOp) OnFlush() {
+	for _, bucket := range g.groups {
+		for _, inst := range bucket {
+			inst.entry.OnFlush()
+		}
+	}
+	g.release(MaxTime)
+	g.out.OnFlush()
+}
+
+// release forwards staged output events with LE < t (future group output
+// is guaranteed to have LE >= t once all groups have seen CTI t).
+func (g *groupApplyOp) release(t Time) {
+	for len(g.staged) > 0 && g.staged[0].LE < t {
+		g.out.OnEvent(heap.Pop(&g.staged).(Event))
+	}
+	if t == MaxTime {
+		for len(g.staged) > 0 {
+			g.out.OnEvent(heap.Pop(&g.staged).(Event))
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package temporal
+
+// Binary operators (Union, TemporalJoin, AntiSemiJoin) receive two
+// independently ordered inputs. The engine's order contract requires them
+// to process events in a single global LE order, so each binary operator
+// is built around a merger that buffers per-side events and releases them
+// when the other side can no longer produce anything earlier.
+//
+// Ties: at equal LE the RIGHT side is processed first. This is the
+// documented semantics of AntiSemiJoin (an interval opening at t
+// suppresses a left point event at t, as bot elimination requires) and is
+// harmless elsewhere.
+
+const (
+	sideLeft  = 0
+	sideRight = 1
+)
+
+// mergedConsumer is the downstream of a merger: events arrive in global
+// LE order tagged with their side.
+type mergedConsumer interface {
+	onMerged(side int, e Event)
+	onMergedCTI(t Time)
+	onMergedFlush()
+}
+
+type merger struct {
+	bufs    [2][]Event // FIFO: each side arrives LE-ordered
+	heads   [2]int     // consumed prefix of bufs (compacted periodically)
+	wm      [2]Time    // promise: future events on side i have LE >= wm[i]
+	flushed [2]bool
+	lastCTI Time
+	cons    mergedConsumer
+}
+
+func newMerger(cons mergedConsumer) *merger {
+	return &merger{wm: [2]Time{MinTime, MinTime}, lastCTI: MinTime, cons: cons}
+}
+
+// input returns the Sink for one side of the merger.
+func (m *merger) input(side int) Sink { return &mergerInput{m: m, side: side} }
+
+type mergerInput struct {
+	m    *merger
+	side int
+}
+
+func (in *mergerInput) OnEvent(e Event) { in.m.push(in.side, e) }
+func (in *mergerInput) OnCTI(t Time)    { in.m.cti(in.side, t) }
+func (in *mergerInput) OnFlush()        { in.m.flush(in.side) }
+
+func (m *merger) push(side int, e Event) {
+	m.bufs[side] = append(m.bufs[side], e)
+	if e.LE > m.wm[side] {
+		m.wm[side] = e.LE
+	}
+	m.release()
+}
+
+func (m *merger) cti(side int, t Time) {
+	if t > m.wm[side] {
+		m.wm[side] = t
+	}
+	m.release()
+	m.forwardCTI()
+}
+
+func (m *merger) flush(side int) {
+	m.flushed[side] = true
+	m.wm[side] = MaxTime
+	m.release()
+	if m.flushed[0] && m.flushed[1] {
+		m.cons.onMergedFlush()
+	} else {
+		m.forwardCTI()
+	}
+}
+
+// bound returns a lower bound on the LE of anything side i can still
+// deliver: its buffered head if any, else its watermark promise.
+func (m *merger) bound(side int) Time {
+	if m.heads[side] < len(m.bufs[side]) {
+		return m.bufs[side][m.heads[side]].LE
+	}
+	return m.wm[side]
+}
+
+func (m *merger) release() {
+	for {
+		l := m.heads[sideLeft] < len(m.bufs[sideLeft])
+		r := m.heads[sideRight] < len(m.bufs[sideRight])
+		switch {
+		case r && m.bufs[sideRight][m.heads[sideRight]].LE <= m.bound(sideLeft):
+			// Right head wins ties against the left bound.
+			m.pop(sideRight)
+		case l && m.bufs[sideLeft][m.heads[sideLeft]].LE < m.bound(sideRight):
+			// Left head needs to be strictly earlier than anything the
+			// right side can still deliver.
+			m.pop(sideLeft)
+		default:
+			return
+		}
+	}
+}
+
+func (m *merger) pop(side int) {
+	e := m.bufs[side][m.heads[side]]
+	m.heads[side]++
+	// Compact the consumed prefix once it dominates the buffer.
+	if m.heads[side] > 64 && m.heads[side]*2 >= len(m.bufs[side]) {
+		n := copy(m.bufs[side], m.bufs[side][m.heads[side]:])
+		m.bufs[side] = m.bufs[side][:n]
+		m.heads[side] = 0
+	}
+	m.cons.onMerged(side, e)
+}
+
+func (m *merger) forwardCTI() {
+	t := minTime(m.bound(sideLeft), m.bound(sideRight))
+	if t > m.lastCTI && t != MaxTime {
+		m.lastCTI = t
+		m.cons.onMergedCTI(t)
+	}
+}
+
+// ---- Union ----
+
+// unionOp merges two identically-schemed streams (paper §II-A.2).
+type unionOp struct {
+	m   *merger
+	out Sink
+}
+
+func newUnionOp(out Sink) *unionOp {
+	u := &unionOp{out: out}
+	u.m = newMerger(u)
+	return u
+}
+
+func (u *unionOp) onMerged(_ int, e Event) { u.out.OnEvent(e) }
+func (u *unionOp) onMergedCTI(t Time)      { u.out.OnCTI(t) }
+func (u *unionOp) onMergedFlush()          { u.out.OnFlush() }
+
+// ---- TemporalJoin ----
+
+// synEntry is one event held in a join synopsis.
+type synEntry struct {
+	e Event
+}
+
+// synopsis is a hash multimap from join-key hash to the active events of
+// one side (the "internal join synopsis" of §II-A.2).
+type synopsis struct {
+	keys    []int
+	buckets map[uint64][]synEntry
+	size    int
+}
+
+func newSynopsis(keys []int) *synopsis {
+	return &synopsis{keys: keys, buckets: make(map[uint64][]synEntry)}
+}
+
+func (s *synopsis) insert(e Event) {
+	h := HashRow(e.Payload, s.keys)
+	s.buckets[h] = append(s.buckets[h], synEntry{e: e})
+	s.size++
+}
+
+// probe invokes fn for every stored event whose key columns equal those of
+// r (under this side's key positions vs the probing row's positions).
+func (s *synopsis) probe(r Row, probeKeys []int, fn func(Event)) {
+	h := HashRow(r, probeKeys)
+	for _, ent := range s.buckets[h] {
+		if keysMatch(ent.e.Payload, s.keys, r, probeKeys) {
+			fn(ent.e)
+		}
+	}
+}
+
+func keysMatch(a Row, ak []int, b Row, bk []int) bool {
+	for i := range ak {
+		if !a[ak[i]].Equal(b[bk[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// expire drops events whose lifetime ends at or before t: nothing arriving
+// later (LE >= t) can overlap them.
+func (s *synopsis) expire(t Time) {
+	for h, bucket := range s.buckets {
+		kept := bucket[:0]
+		for _, ent := range bucket {
+			if ent.e.RE > t {
+				kept = append(kept, ent)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.buckets, h)
+		} else {
+			s.buckets[h] = kept
+		}
+		s.size += len(kept) - len(bucket)
+	}
+}
+
+// temporalJoinOp is a symmetric hash join on equality keys with lifetime
+// intersection and an optional residual predicate (paper §II-A.2).
+type temporalJoinOp struct {
+	m        *merger
+	syn      [2]*synopsis
+	keys     [2][]int
+	cond     func(l, r Row) bool // nil = none
+	arena    rowArena
+	out      Sink
+	lastTidy Time
+}
+
+func newTemporalJoinOp(leftKeys, rightKeys []int, cond func(l, r Row) bool, out Sink) *temporalJoinOp {
+	j := &temporalJoinOp{
+		keys: [2][]int{leftKeys, rightKeys},
+		cond: cond,
+		out:  out,
+	}
+	j.syn[sideLeft] = newSynopsis(leftKeys)
+	j.syn[sideRight] = newSynopsis(rightKeys)
+	j.m = newMerger(j)
+	j.lastTidy = MinTime
+	return j
+}
+
+func (j *temporalJoinOp) onMerged(side int, e Event) {
+	other := 1 - side
+	j.syn[other].probe(e.Payload, j.keys[side], func(o Event) {
+		le := maxTime(e.LE, o.LE)
+		re := minTime(e.RE, o.RE)
+		if le >= re {
+			return
+		}
+		var l, r Row
+		if side == sideLeft {
+			l, r = e.Payload, o.Payload
+		} else {
+			l, r = o.Payload, e.Payload
+		}
+		if j.cond != nil && !j.cond(l, r) {
+			return
+		}
+		// le == max(e.LE, o.LE) == e.LE since o arrived earlier in merged
+		// order, so outputs are emitted in nondecreasing LE.
+		j.out.OnEvent(Event{LE: le, RE: re, Payload: j.arena.concat(l, r)})
+	})
+	j.syn[side].insert(e)
+}
+
+func (j *temporalJoinOp) onMergedCTI(t Time) {
+	if t > j.lastTidy {
+		j.syn[0].expire(t)
+		j.syn[1].expire(t)
+		j.lastTidy = t
+	}
+	j.out.OnCTI(t)
+}
+
+func (j *temporalJoinOp) onMergedFlush() { j.out.OnFlush() }
+
+// ---- AntiSemiJoin ----
+
+// antiSemiJoinOp emits left point events with no matching right event
+// whose lifetime contains them. The merger's right-first tie-break makes a
+// right interval opening at t suppress a left point at t. Left inputs must
+// be point events (the only form the paper's queries use; the general
+// interval form would require lifetime subtraction).
+type antiSemiJoinOp struct {
+	m    *merger
+	syn  *synopsis // right side
+	lkey []int
+	out  Sink
+	lastTidy Time
+}
+
+func newAntiSemiJoinOp(leftKeys, rightKeys []int, out Sink) *antiSemiJoinOp {
+	a := &antiSemiJoinOp{syn: newSynopsis(rightKeys), lkey: leftKeys, out: out, lastTidy: MinTime}
+	a.m = newMerger(a)
+	return a
+}
+
+func (a *antiSemiJoinOp) onMerged(side int, e Event) {
+	if side == sideRight {
+		a.syn.insert(e)
+		return
+	}
+	if !e.IsPoint() {
+		panic("temporal: AntiSemiJoin left input must be point events")
+	}
+	matched := false
+	a.syn.probe(e.Payload, a.lkey, func(o Event) {
+		if o.Contains(e.LE) {
+			matched = true
+		}
+	})
+	if !matched {
+		a.out.OnEvent(e)
+	}
+}
+
+func (a *antiSemiJoinOp) onMergedCTI(t Time) {
+	if t > a.lastTidy {
+		a.syn.expire(t)
+		a.lastTidy = t
+	}
+	a.out.OnCTI(t)
+}
+
+func (a *antiSemiJoinOp) onMergedFlush() { a.out.OnFlush() }

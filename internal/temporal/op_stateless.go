@@ -1,0 +1,230 @@
+package temporal
+
+import "container/heap"
+
+// multicast fans one ordered stream out to several downstream sinks.
+type multicast struct {
+	outs []Sink
+}
+
+func (m *multicast) OnEvent(e Event) {
+	// The payload slice is shared across branches; operators never mutate
+	// input payloads in place, so sharing is safe and allocation-free.
+	for _, o := range m.outs {
+		o.OnEvent(e)
+	}
+}
+
+func (m *multicast) OnCTI(t Time) {
+	for _, o := range m.outs {
+		o.OnCTI(t)
+	}
+}
+
+func (m *multicast) OnFlush() {
+	for _, o := range m.outs {
+		o.OnFlush()
+	}
+}
+
+// filterOp drops events whose payload fails the predicate.
+type filterOp struct {
+	pred func(Row) bool
+	out  Sink
+}
+
+func (f *filterOp) OnEvent(e Event) {
+	if f.pred(e.Payload) {
+		f.out.OnEvent(e)
+	}
+}
+func (f *filterOp) OnCTI(t Time) { f.out.OnCTI(t) }
+func (f *filterOp) OnFlush()     { f.out.OnFlush() }
+
+// projectOp rewrites payloads. Column resolution happened at compile time;
+// each output column is either a direct copy or a computed function.
+type projectOp struct {
+	fns   []func(Row) Value
+	arena rowArena
+	out   Sink
+}
+
+func (p *projectOp) OnEvent(e Event) {
+	row := p.arena.alloc(len(p.fns))
+	for i, fn := range p.fns {
+		row[i] = fn(e.Payload)
+	}
+	e.Payload = row
+	p.out.OnEvent(e)
+}
+func (p *projectOp) OnCTI(t Time) { p.out.OnCTI(t) }
+func (p *projectOp) OnFlush()     { p.out.OnFlush() }
+
+// alterLifetimeOp adjusts event lifetimes. All supported modes are
+// monotone nondecreasing in LE, so input order is preserved; the CTI is
+// translated by the worst-case backward shift.
+//
+// LifePoint is the one event-identity-sensitive mode: its output depends
+// on how the input temporal relation is carved into events, and upstream
+// aggregates legitimately fragment their output at punctuation
+// boundaries. The operator therefore works on the *coalesced* relation:
+// an event that merely continues a previous one (abutting lifetime, equal
+// payload) produces no new point. This keeps results independent of
+// punctuation rate — the repeatability property the whole system leans on.
+type alterLifetimeOp struct {
+	mode        LifetimeMode
+	window, hop Time
+	shift       Time
+	out         Sink
+	// continuation-suppression state for LifePoint
+	pending map[uint64][]pointPending
+}
+
+type pointPending struct {
+	re      Time
+	payload Row
+}
+
+func (a *alterLifetimeOp) OnEvent(e Event) {
+	switch a.mode {
+	case LifeWindow:
+		e.RE = e.LE + a.window
+	case LifeHop:
+		// Event at time s contributes to windows of width w ending at
+		// multiples of h in (s, s+w]; each result is valid for one hop.
+		s := e.LE
+		e.LE = floorDiv(s, a.hop)*a.hop + a.hop
+		e.RE = floorDiv(s+a.window, a.hop)*a.hop + a.hop
+	case LifeShift:
+		e.LE += a.shift
+		e.RE += a.shift
+	case LifePoint:
+		if a.isContinuation(&e) {
+			return
+		}
+		e.RE = e.LE + Tick
+	}
+	if e.RE <= e.LE {
+		e.RE = e.LE + Tick
+	}
+	a.out.OnEvent(e)
+}
+
+// isContinuation records e's lifetime and reports whether it extends a
+// previously seen event (in which case ToPoint already emitted its point).
+func (a *alterLifetimeOp) isContinuation(e *Event) bool {
+	if a.pending == nil {
+		a.pending = make(map[uint64][]pointPending)
+	}
+	h := HashSeed
+	for _, v := range e.Payload {
+		h = v.Hash(h)
+	}
+	bucket := a.pending[h]
+	kept := bucket[:0]
+	found := false
+	for i := range bucket {
+		p := bucket[i]
+		if !found && p.re == e.LE && p.payload.Equal(e.Payload) {
+			// Extend instead of re-emitting.
+			p.re = e.RE
+			found = true
+		}
+		if p.re >= e.LE { // can still abut a future event (LE ordered)
+			kept = append(kept, p)
+		}
+	}
+	if !found {
+		kept = append(kept, pointPending{re: e.RE, payload: e.Payload})
+	}
+	if len(kept) == 0 {
+		delete(a.pending, h)
+	} else {
+		a.pending[h] = kept
+	}
+	return found
+}
+
+func (a *alterLifetimeOp) OnCTI(t Time) {
+	if a.mode == LifeShift && a.shift < 0 {
+		t += a.shift
+	}
+	a.out.OnCTI(t)
+}
+func (a *alterLifetimeOp) OnFlush() { a.out.OnFlush() }
+
+// floorDiv is floor division that is correct for negative operands.
+func floorDiv(a, b Time) Time {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// eventHeap orders events by (LE, RE, payload) — the canonical engine
+// order, matching SortEvents.
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].LE != h[j].LE {
+		return h[i].LE < h[j].LE
+	}
+	if h[i].RE != h[j].RE {
+		return h[i].RE < h[j].RE
+	}
+	return compareRows(h[i].Payload, h[j].Payload) < 0
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// reorderOp restores nondecreasing-LE order for a source that may be
+// disordered by at most slack time units. Events are buffered and released
+// once the high-watermark (max LE seen, or CTI) has passed LE + slack.
+type reorderOp struct {
+	slack Time
+	buf   eventHeap
+	wm    Time
+	out   Sink
+}
+
+func newReorder(slack Time, out Sink) *reorderOp {
+	return &reorderOp{slack: slack, wm: MinTime, out: out}
+}
+
+func (r *reorderOp) OnEvent(e Event) {
+	heap.Push(&r.buf, e)
+	if e.LE > r.wm {
+		r.wm = e.LE
+	}
+	r.release(r.wm - r.slack)
+}
+
+func (r *reorderOp) OnCTI(t Time) {
+	// A CTI promises no later event has LE < t, so everything below t can
+	// be released regardless of slack.
+	if t > r.wm {
+		r.wm = t
+	}
+	r.release(t)
+	r.out.OnCTI(t)
+}
+
+func (r *reorderOp) OnFlush() {
+	r.release(MaxTime)
+	r.out.OnFlush()
+}
+
+func (r *reorderOp) release(upto Time) {
+	for len(r.buf) > 0 && r.buf[0].LE <= upto {
+		r.out.OnEvent(heap.Pop(&r.buf).(Event))
+	}
+}

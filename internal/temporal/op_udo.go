@@ -1,0 +1,92 @@
+package temporal
+
+// hoppingUDOOp runs a user-defined function over hopping windows (paper
+// §II-A.2 "User-Defined Operators"). Windows end at multiples of the hop;
+// the window ending at t covers payload rows of events with LE in
+// [t-Window, t), and its output rows are valid for [t, t+Hop) — exactly
+// the shape the BT model generator needs (§IV-B.4: "the hop size
+// determines the frequency of performing LR, while window size determines
+// the amount of training data").
+type hoppingUDOOp struct {
+	w, h    Time
+	fn      func(ws, we Time, rows []Row) []Row
+	buf     []Event // LE-ordered, pending rows
+	nextEnd Time
+	started bool
+	lastLE  Time
+	out     Sink
+}
+
+func newHoppingUDOOp(spec *UDOSpec, out Sink) *hoppingUDOOp {
+	return &hoppingUDOOp{w: spec.Window, h: spec.Hop, fn: spec.Fn, out: out}
+}
+
+func (u *hoppingUDOOp) OnEvent(e Event) {
+	// Windows ending at or before e.LE are complete: any future event has
+	// LE >= e.LE and so cannot fall in [t-w, t) for t <= e.LE.
+	u.processWindows(e.LE)
+	if !u.started || (len(u.buf) == 0 && u.firstEnd(e.LE) > u.nextEnd) {
+		// Skip empty windows across idle gaps.
+		u.nextEnd = u.firstEnd(e.LE)
+		u.started = true
+	}
+	u.buf = append(u.buf, e)
+	u.lastLE = e.LE
+}
+
+// firstEnd is the earliest window end whose window contains an event at t:
+// the smallest multiple of h strictly greater than t.
+func (u *hoppingUDOOp) firstEnd(t Time) Time {
+	return floorDiv(t, u.h)*u.h + u.h
+}
+
+func (u *hoppingUDOOp) OnCTI(t Time) {
+	u.processWindows(t)
+	u.out.OnCTI(t)
+}
+
+func (u *hoppingUDOOp) OnFlush() {
+	if u.started {
+		u.processWindows(u.lastLE + u.w + u.h)
+	}
+	u.out.OnFlush()
+}
+
+func (u *hoppingUDOOp) processWindows(upto Time) {
+	if !u.started {
+		return
+	}
+	for u.nextEnd <= upto {
+		if len(u.buf) == 0 {
+			return // nothing until new events arrive; nextEnd reset then
+		}
+		end := u.nextEnd
+		start := end - u.w
+		// Collect rows with LE in [start, end). The buffer is LE-ordered
+		// and already evicted below start.
+		var rows []Row
+		for _, e := range u.buf {
+			if e.LE >= end {
+				break
+			}
+			if e.LE >= start {
+				rows = append(rows, e.Payload)
+			}
+		}
+		if len(rows) > 0 {
+			for _, r := range u.fn(start, end, rows) {
+				u.out.OnEvent(Event{LE: end, RE: end + u.h, Payload: r})
+			}
+		}
+		u.nextEnd += u.h
+		// Evict rows no future window can see.
+		low := u.nextEnd - u.w
+		i := 0
+		for i < len(u.buf) && u.buf[i].LE < low {
+			i++
+		}
+		if i > 0 {
+			u.buf = append(u.buf[:0], u.buf[i:]...)
+		}
+	}
+}

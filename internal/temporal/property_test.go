@@ -1,0 +1,314 @@
+package temporal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteSnapshotCount computes the canonical windowed-count output of a set
+// of interval events by explicit snapshot enumeration: for every maximal
+// interval between lifetime endpoints, count the events containing it.
+// This is the oracle the incremental aggregateOp must match.
+func bruteSnapshotCount(events []Event) []Event {
+	if len(events) == 0 {
+		return nil
+	}
+	var pts []Time
+	for _, e := range events {
+		pts = append(pts, e.LE, e.RE)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	var out []Event
+	for i := 0; i+1 < len(uniq); i++ {
+		lo, hi := uniq[i], uniq[i+1]
+		n := int64(0)
+		for _, e := range events {
+			if e.LE <= lo && hi <= e.RE {
+				n++
+			}
+		}
+		if n > 0 {
+			out = append(out, Event{LE: lo, RE: hi, Payload: Row{Int(n)}})
+		}
+	}
+	return Coalesce(out)
+}
+
+// genEvents builds a random batch of point events at small timestamps so
+// windows overlap heavily.
+func genEvents(r *rand.Rand, n int) []Event {
+	sch := []Field{{Name: "Time", Kind: KindInt}, {Name: "V", Kind: KindInt}}
+	_ = sch
+	out := make([]Event, n)
+	t := Time(0)
+	for i := range out {
+		t += Time(r.Intn(5))
+		out[i] = PointEvent(t, Row{Int(t), Int(int64(r.Intn(10)))})
+	}
+	return out
+}
+
+func propSchema() *Schema {
+	return NewSchema(Field{Name: "Time", Kind: KindInt}, Field{Name: "V", Kind: KindInt})
+}
+
+func TestPropertyWindowedCountMatchesOracle(t *testing.T) {
+	err := quick.Check(func(seed int64, nRaw uint8, wRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		w := Time(wRaw%20) + 1
+		events := genEvents(r, n)
+
+		plan := Scan("in", propSchema()).WithWindow(w).Count("C")
+		got, err := RunPlan(plan, map[string][]Event{"in": events})
+		if err != nil {
+			return false
+		}
+		// Oracle: widen the same events and enumerate snapshots.
+		widened := make([]Event, len(events))
+		for i, e := range events {
+			widened[i] = Event{LE: e.LE, RE: e.LE + w, Payload: e.Payload}
+		}
+		want := bruteSnapshotCount(widened)
+		return EventsEqual(got, want)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCTIFrequencyInvariance(t *testing.T) {
+	// The paper's repeatability guarantee (§III-C.1): results depend only
+	// on application time. Punctuation frequency is a physical concern and
+	// must not alter coalesced output.
+	err := quick.Check(func(seed int64, nRaw, wRaw, periodRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 2
+		w := Time(wRaw%15) + 1
+		period := Time(periodRaw%7) + 1
+		events := genEvents(r, n)
+		mk := func() *Plan {
+			return Scan("in", propSchema()).
+				GroupApply([]string{"V"}, func(g *Plan) *Plan { return g.WithWindow(w).Count("C") })
+		}
+
+		// Run 1: no CTIs at all (flush-driven).
+		e1, err := NewEngine(mk())
+		if err != nil {
+			return false
+		}
+		e1.CTIPeriod = 0
+		for _, ev := range events {
+			e1.Feed("in", ev)
+		}
+		e1.Flush()
+
+		// Run 2: aggressive CTIs every `period` ticks.
+		e2, err := NewEngine(mk())
+		if err != nil {
+			return false
+		}
+		e2.CTIPeriod = 0
+		last := Time(MinTime)
+		for _, ev := range events {
+			e2.Feed("in", ev)
+			if last == MinTime || ev.LE-last >= period {
+				e2.Advance(ev.LE)
+				last = ev.LE
+			}
+		}
+		e2.Flush()
+
+		return EventsEqual(e1.Results(), e2.Results())
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySumMatchesCountTimesValue(t *testing.T) {
+	// Feeding constant values, Sum == k * Count over every snapshot.
+	err := quick.Check(func(seed int64, nRaw, wRaw uint8, k int16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 1
+		w := Time(wRaw%10) + 1
+		kk := int64(k)
+		events := genEvents(r, n)
+		for i := range events {
+			events[i].Payload[1] = Int(kk)
+		}
+		sumPlan := Scan("in", propSchema()).WithWindow(w).Sum("V", "S")
+		cntPlan := Scan("in", propSchema()).WithWindow(w).Count("C")
+		sums, err1 := RunPlan(sumPlan, map[string][]Event{"in": events})
+		cnts, err2 := RunPlan(cntPlan, map[string][]Event{"in": events})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if kk == 0 {
+			// Sum of zeros coalesces into long runs of 0; just check all
+			// payloads are zero.
+			for _, e := range sums {
+				if e.Payload[0].AsInt() != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		if len(sums) != len(cnts) {
+			return false
+		}
+		for i := range sums {
+			if sums[i].LE != cnts[i].LE || sums[i].RE != cnts[i].RE {
+				return false
+			}
+			if sums[i].Payload[0].AsInt() != kk*cnts[i].Payload[0].AsInt() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMinMaxEnvelope(t *testing.T) {
+	// Over every snapshot, Min <= Avg <= Max.
+	err := quick.Check(func(seed int64, nRaw, wRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		w := Time(wRaw%12) + 1
+		events := genEvents(r, n)
+		src := propSchema()
+		mins, _ := RunPlan(Scan("in", src).WithWindow(w).Min("V", "M"), map[string][]Event{"in": events})
+		maxs, _ := RunPlan(Scan("in", src).WithWindow(w).Max("V", "M"), map[string][]Event{"in": events})
+		avgs, _ := RunPlan(Scan("in", src).WithWindow(w).Avg("V", "A"), map[string][]Event{"in": events})
+		at := func(evs []Event, t Time) (Value, bool) {
+			for _, e := range evs {
+				if e.Contains(t) {
+					return e.Payload[0], true
+				}
+			}
+			return Null, false
+		}
+		for _, e := range events {
+			t0 := e.LE
+			mn, ok1 := at(mins, t0)
+			mx, ok2 := at(maxs, t0)
+			av, ok3 := at(avgs, t0)
+			if !ok1 || !ok2 || !ok3 {
+				return false // every event's LE must be covered
+			}
+			if float64(mn.AsInt()) > av.AsFloat()+1e-9 || av.AsFloat() > float64(mx.AsInt())+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnionPreservesEvents(t *testing.T) {
+	// Union output = multiset union of inputs (here: disjoint filters over
+	// one source must reconstruct it exactly).
+	err := quick.Check(func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 1
+		events := genEvents(r, n)
+		src := Scan("in", propSchema())
+		plan := src.Where(ColGtInt("V", 4)).Union(src.Where(Not(ColGtInt("V", 4))))
+		out, err := RunPlan(plan, map[string][]Event{"in": events})
+		if err != nil {
+			return false
+		}
+		in := Coalesce(append([]Event(nil), events...))
+		return EventsEqual(out, in)
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJoinMatchesNestedLoop(t *testing.T) {
+	// TemporalJoin output must equal the nested-loop temporal join.
+	err := quick.Check(func(seed int64, nRaw, wRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%25) + 1
+		w := Time(wRaw%10) + 2
+		le := genEvents(r, n)
+		re := genEvents(r, n)
+		// Key by V (values 0..9 → plenty of collisions).
+		left := Scan("l", propSchema()).WithWindow(w)
+		right := Scan("r", propSchema()).WithWindow(w)
+		plan := left.Join(right, []string{"V"}, []string{"V"}, nil)
+		got, err := RunPlan(plan, map[string][]Event{"l": le, "r": re})
+		if err != nil {
+			return false
+		}
+		var want []Event
+		for _, a := range le {
+			for _, b := range re {
+				if !a.Payload[1].Equal(b.Payload[1]) {
+					continue
+				}
+				lo := maxTime(a.LE, b.LE)
+				hi := minTime(a.LE+w, b.LE+w)
+				if lo < hi {
+					want = append(want, Event{LE: lo, RE: hi, Payload: ConcatRows(a.Payload, b.Payload)})
+				}
+			}
+		}
+		want = Coalesce(want)
+		return EventsEqual(got, want)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAntiSemiJoinComplement(t *testing.T) {
+	// ASJ(l, r) ∪ PointJoin-filtered(l, r) partitions l: every left point
+	// either survives the ASJ or intersects a matching right interval.
+	err := quick.Check(func(seed int64, nRaw, wRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 1
+		w := Time(wRaw%8) + 1
+		le := genEvents(r, n)
+		re := genEvents(r, n/2+1)
+		plan := Scan("l", propSchema()).
+			AntiSemiJoin(Scan("r", propSchema()).WithWindow(w), []string{"V"}, []string{"V"})
+		got, err := RunPlan(plan, map[string][]Event{"l": le, "r": re})
+		if err != nil {
+			return false
+		}
+		covered := func(p Event) bool {
+			for _, b := range re {
+				if b.Payload[1].Equal(p.Payload[1]) && b.LE <= p.LE && p.LE < b.LE+w {
+					return true
+				}
+			}
+			return false
+		}
+		var want []Event
+		for _, p := range le {
+			if !covered(p) {
+				want = append(want, p)
+			}
+		}
+		want = Coalesce(want)
+		return EventsEqual(got, want)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

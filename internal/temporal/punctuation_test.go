@@ -1,0 +1,293 @@
+package temporal
+
+import (
+	"testing"
+)
+
+// driveWithCTIs feeds events one at a time, punctuating after each, then
+// flushes — the way a live DSMS deployment is driven.
+func driveWithCTIs(t *testing.T, plan *Plan, inputs map[string][]Event) []Event {
+	t.Helper()
+	var all []SourceEvent
+	for src, evs := range inputs {
+		for _, e := range evs {
+			all = append(all, SourceEvent{Source: src, Event: e})
+		}
+	}
+	sortSourceEvents(all)
+	eng, err := NewEngine(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.CTIPeriod = 0
+	for _, se := range all {
+		eng.Feed(se.Source, se.Event)
+		eng.Advance(se.Event.LE) // aggressive punctuation after every event
+	}
+	eng.Flush()
+	return eng.Results()
+}
+
+func sortSourceEvents(evs []SourceEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Event.LE < evs[j-1].Event.LE; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+func TestCTIThroughJoin(t *testing.T) {
+	sch := readingSchema()
+	left := Scan("l", sch)
+	right := Scan("r", sch).WithWindow(10)
+	plan := left.Join(right, []string{"ID"}, []string{"ID"}, nil)
+	inputs := map[string][]Event{
+		"l": {reading(5, "m", 1), reading(12, "m", 2), reading(30, "m", 3)},
+		"r": {reading(1, "m", 9), reading(25, "m", 8)},
+	}
+	want, err := RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveWithCTIs(t, plan, inputs)
+	if !EventsEqual(got, want) {
+		t.Fatalf("punctuated run diverges: %v vs %v", got, want)
+	}
+}
+
+func TestCTIThroughUnionAndUDO(t *testing.T) {
+	sch := readingSchema()
+	a := Scan("a", sch)
+	b := Scan("b", sch)
+	spec := UDOSpec{
+		Name: "count", Window: 10, Hop: 5,
+		Out: NewSchema(Field{Name: "N", Kind: KindInt}),
+		Fn: func(ws, we Time, rows []Row) []Row {
+			return []Row{{Int(int64(len(rows)))}}
+		},
+	}
+	plan := a.Union(b).Apply(spec)
+	inputs := map[string][]Event{
+		"a": {reading(1, "m", 1), reading(8, "m", 1), reading(22, "m", 1)},
+		"b": {reading(3, "m", 1), reading(15, "m", 1)},
+	}
+	want, err := RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveWithCTIs(t, plan, inputs)
+	if !EventsEqual(got, want) {
+		t.Fatalf("punctuated run diverges: %v vs %v", got, want)
+	}
+}
+
+func TestCTIThroughShiftAndFilter(t *testing.T) {
+	// Negative shifts translate punctuations; the chain must still agree
+	// with the unpunctuated run.
+	sch := readingSchema()
+	plan := Scan("in", sch).
+		Where(ColGtInt("Power", 0)).
+		WithWindow(5).
+		ShiftLifetime(-3).
+		Count("C")
+	inputs := map[string][]Event{
+		"in": {reading(10, "m", 1), reading(11, "m", 0), reading(14, "m", 2), reading(20, "m", 3)},
+	}
+	want, err := RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveWithCTIs(t, plan, inputs)
+	if !EventsEqual(got, want) {
+		t.Fatalf("punctuated run diverges: %v vs %v", got, want)
+	}
+}
+
+func TestToPointSuppressesContinuations(t *testing.T) {
+	// ToPoint is event-identity-sensitive; the operator must treat
+	// abutting equal-payload fragments (as produced by aggregates at CTI
+	// boundaries) as one logical event and emit a single point.
+	plan := Scan("in", readingSchema()).
+		GroupApply([]string{"ID"}, func(g *Plan) *Plan {
+			return g.WithWindow(100).Count("C")
+		}).
+		ToPoint()
+	in := []Event{reading(10, "m", 1), reading(400, "m", 1)}
+	want, err := RunPlan(plan, map[string][]Event{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveWithCTIs(t, plan, map[string][]Event{"in": in})
+	if !EventsEqual(got, want) {
+		t.Fatalf("punctuated ToPoint diverges: %v vs %v", got, want)
+	}
+	// Two logical count segments (one per reading) → two points.
+	if len(want) != 2 {
+		t.Fatalf("want = %v", want)
+	}
+}
+
+func TestCTIBoundsJoinSynopsis(t *testing.T) {
+	// State cleanup: after punctuation passes an event's RE, the synopsis
+	// must shrink (the engine's memory is bounded by the window, not the
+	// stream length).
+	col := &Collector{}
+	j := newTemporalJoinOp([]int{1}, []int{1}, nil, col)
+	left, right := j.m.input(sideLeft), j.m.input(sideRight)
+	for i := 0; i < 100; i++ {
+		tm := Time(i * 10)
+		right.OnEvent(Event{LE: tm, RE: tm + 10, Payload: Row{Int(tm), String("k")}})
+		left.OnEvent(PointEvent(tm+1, Row{Int(tm + 1), String("k")}))
+		left.OnCTI(tm + 2)
+		right.OnCTI(tm + 2)
+	}
+	if j.syn[sideRight].size > 4 {
+		t.Errorf("right synopsis holds %d events after punctuation; state not bounded", j.syn[sideRight].size)
+	}
+	if j.syn[sideLeft].size > 4 {
+		t.Errorf("left synopsis holds %d events; state not bounded", j.syn[sideLeft].size)
+	}
+	if len(col.Events) != 100 {
+		t.Errorf("join produced %d results, want 100", len(col.Events))
+	}
+}
+
+func TestMergerCompaction(t *testing.T) {
+	// Feeding many events on one side with the other side's watermark
+	// advancing must not retain the consumed prefix.
+	u := newUnionOp(&Collector{})
+	l, r := u.m.input(sideLeft), u.m.input(sideRight)
+	for i := 0; i < 1000; i++ {
+		l.OnEvent(PointEvent(Time(i), Row{Int(int64(i))}))
+		r.OnCTI(Time(i + 1)) // releases the left head each time
+	}
+	if n := len(u.m.bufs[sideLeft]); n > 600 {
+		t.Errorf("merger buffer holds %d events; compaction failed", n)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	sch := readingSchema()
+	plan := Scan("in", sch).WithWindow(3).Count("C")
+	eng, err := NewEngine(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eng.Pipeline()
+	if got := p.Sources(); len(got) != 1 || got[0] != "in" {
+		t.Errorf("Sources = %v", got)
+	}
+	if !p.SourceSchema("in").Equal(sch) {
+		t.Error("SourceSchema mismatch")
+	}
+	if p.OutSchema().Field(0).Name != "C" {
+		t.Errorf("OutSchema = %s", p.OutSchema())
+	}
+	mustPanic(t, func() { p.Input("nope") })
+
+	eng.Feed("in", reading(1, "m", 1))
+	eng.Advance(10)
+	eng.Flush()
+	raw := eng.RawResults()
+	if len(raw) == 0 {
+		t.Fatal("no raw results")
+	}
+	// Raw results may be fragmented; coalesced results must not be longer.
+	if len(eng.Results()) > len(raw) {
+		t.Error("coalesced longer than raw")
+	}
+}
+
+func TestEventHelpers(t *testing.T) {
+	a := Event{LE: 1, RE: 5, Payload: Row{Int(1)}}
+	b := Event{LE: 4, RE: 9, Payload: Row{Int(2)}}
+	c := Event{LE: 5, RE: 9, Payload: Row{Int(3)}}
+	if !a.Overlaps(b) || a.Overlaps(c) || !b.Overlaps(a) {
+		t.Error("Overlaps")
+	}
+	if a.String() == "" || a.IsPoint() {
+		t.Error("String/IsPoint")
+	}
+	if !PointEvent(3, nil).IsPoint() {
+		t.Error("PointEvent")
+	}
+	if EventsEqual([]Event{a}, []Event{b}) {
+		t.Error("EventsEqual false positive")
+	}
+	if !EventsEqual([]Event{a}, []Event{{LE: 1, RE: 5, Payload: Row{Int(1)}}}) {
+		t.Error("EventsEqual false negative")
+	}
+}
+
+func TestMinMaxFloatAndStringValues(t *testing.T) {
+	sch := NewSchema(
+		Field{Name: "Time", Kind: KindInt},
+		Field{Name: "Name", Kind: KindString},
+	)
+	plan := Scan("in", sch).WithWindow(10).Min("Name", "M")
+	in := []Event{
+		PointEvent(1, Row{Int(1), String("zebra")}),
+		PointEvent(2, Row{Int(2), String("ant")}),
+	}
+	out, err := RunPlan(plan, map[string][]Event{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out {
+		if e.Contains(2) && e.Payload[0].AsString() != "ant" {
+			t.Errorf("min@2 = %v", e.Payload[0])
+		}
+	}
+	// Sum over floats.
+	fsch := NewSchema(Field{Name: "Time", Kind: KindInt}, Field{Name: "X", Kind: KindFloat})
+	fplan := Scan("in", fsch).WithWindow(10).Sum("X", "S")
+	fin := []Event{
+		PointEvent(1, Row{Int(1), Float(1.5)}),
+		PointEvent(2, Row{Int(2), Float(2.25)}),
+	}
+	fout, err := RunPlan(fplan, map[string][]Event{"in": fin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range fout {
+		if e.Contains(2) {
+			found = true
+			if e.Payload[0].AsFloat() != 3.75 {
+				t.Errorf("float sum = %v", e.Payload[0])
+			}
+		}
+	}
+	if !found {
+		t.Error("no snapshot at t=2")
+	}
+}
+
+func TestAvgEmptyAndPredicateCombinators(t *testing.T) {
+	s := &avgState{col: 0}
+	if s.Result().AsFloat() != 0 {
+		t.Error("empty avg")
+	}
+	// Or / FnPred / ColLtInt / ColGeFloat / ColEqString coverage.
+	sch := NewSchema(
+		Field{Name: "Time", Kind: KindInt},
+		Field{Name: "Name", Kind: KindString},
+		Field{Name: "X", Kind: KindFloat},
+	)
+	plan := Scan("in", sch).Where(Or(
+		ColEqString("Name", "keep"),
+		And(ColLtInt("Time", 5), ColGeFloat("X", 2.0)),
+	))
+	in := []Event{
+		PointEvent(1, Row{Int(1), String("keep"), Float(0)}),
+		PointEvent(2, Row{Int(2), String("drop"), Float(3)}), // t<5 && x>=2
+		PointEvent(9, Row{Int(9), String("drop"), Float(3)}), // fails both
+	}
+	out, err := RunPlan(plan, map[string][]Event{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+}

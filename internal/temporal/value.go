@@ -1,0 +1,246 @@
+// Package temporal implements a single-node temporal data-stream engine
+// (DSMS) in the style of Microsoft StreamInsight, as required by the TiMR
+// framework (Chandramouli, Goldstein, Duan; ICDE 2012).
+//
+// The engine processes events carrying validity lifetimes [LE, RE) under
+// snapshot semantics: operator output is defined purely in terms of the
+// temporal relation of the input, independent of physical arrival time.
+// This property — the "temporal algebra" of the paper — is what lets TiMR
+// run the same continuous query over offline map-reduce partitions and over
+// live feeds with identical results.
+//
+// The package has three layers:
+//
+//   - values and rows: a compact tagged-union Value, Schema, Row;
+//   - logical plans: a Plan tree built with a fluent builder (see plan.go,
+//     builder.go), the unit TiMR annotates, fragments and optimizes;
+//   - physical operators: push-based incremental operators implementing
+//     Sink (see operator files), compiled from plans by Compile.
+package temporal
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds. KindNull marks absent values (e.g. unmatched outer columns).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding one column value. The zero Value
+// is null. Using a concrete struct (rather than interface{}) keeps rows
+// free of per-value heap allocations on the engine's hot paths.
+type Value struct {
+	kind Kind
+	i    int64 // also carries bool (0/1)
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if v is not an int; engine
+// code paths validate kinds at plan-compile time, so a panic here indicates
+// a schema bug, not a data error.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("temporal: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, widening ints.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic("temporal: AsFloat on " + v.kind.String())
+	}
+}
+
+// AsString returns the string payload.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("temporal: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("temporal: AsBool on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Equal reports deep equality of two values (kind and payload).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	default:
+		return v.i == o.i
+	}
+}
+
+// Compare orders values of the same kind: -1, 0, +1. Nulls sort first;
+// cross-kind comparison orders by kind (stable but arbitrary), which keeps
+// sort-based operators total.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindFloat:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+		return 0
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	default:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Hash mixes v into a 64-bit FNV-1a state. Used for partitioning and for
+// hash synopses in joins and group-apply.
+func (v Value) Hash(h uint64) uint64 {
+	const prime = 1099511628211
+	h ^= uint64(v.kind)
+	h *= prime
+	switch v.kind {
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= prime
+		}
+	case KindFloat:
+		h ^= math.Float64bits(v.f)
+		h *= prime
+	default:
+		h ^= uint64(v.i)
+		h *= prime
+	}
+	return h
+}
+
+// String renders the value for debugging and experiment tables.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', 6, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.i != 0)
+	}
+	return "?"
+}
+
+// HashSeed is the initial state for Value.Hash chains.
+const HashSeed uint64 = 14695981039346656037
+
+// HashRow hashes the given columns of a row, for partitioning.
+func HashRow(r Row, cols []int) uint64 {
+	h := HashSeed
+	for _, c := range cols {
+		h = r[c].Hash(h)
+	}
+	return h
+}
+
+// hashString is a convenience FNV-1a over a raw string.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,124 @@
+package tsql
+
+import (
+	"timr/internal/temporal"
+)
+
+// Query is a parsed statement: a SELECT or a UNION of two queries.
+type Query interface{ isQuery() }
+
+// UnionStmt merges two queries with identical output schemas.
+type UnionStmt struct {
+	Left, Right Query
+}
+
+func (*UnionStmt) isQuery() {}
+
+// SelectStmt is one SELECT block.
+type SelectStmt struct {
+	Projs   []ProjExpr
+	Star    bool // SELECT *
+	From    Source
+	Joins   []JoinClause
+	Where   Expr
+	GroupBy []string
+	// Window/Hop attach to the aggregate (or, without aggregates, to the
+	// output lifetimes).
+	Window, Hop *temporal.Time
+	Having      Expr
+	// Partition is an explicit PARTITION BY annotation: a logical
+	// exchange on the inputs (TiMR's hint mechanism, §III-A.2).
+	Partition []string
+}
+
+func (*SelectStmt) isQuery() {}
+
+// Source is a FROM or JOIN operand: a named stream or a subquery, with
+// optional per-source lifetime clauses.
+type Source struct {
+	Name  string
+	Sub   Query
+	Alias string
+	// Lifetime clauses applied to this source's events, in order:
+	// WINDOW w [HOP h] | SHIFT d | POINT.
+	Window, Hop, Shift *temporal.Time
+	Point              bool
+}
+
+// JoinClause joins (or anti-semi-joins) another source onto the left side.
+type JoinClause struct {
+	Anti bool
+	Src  Source
+	On   []ColPair
+}
+
+// ColPair is one equality of an ON clause: left column = right column.
+type ColPair struct {
+	L, R ColRef
+}
+
+// ColRef is a possibly alias-qualified column reference.
+type ColRef struct {
+	Qualifier string // "" if unqualified
+	Name      string
+}
+
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// ProjExpr is one SELECT list item.
+type ProjExpr struct {
+	Col   ColRef // when Agg == ""
+	Agg   string // COUNT, SUM, MIN, MAX, AVG; "" for plain columns
+	AggCol ColRef // argument of the aggregate ("" Name for COUNT(*))
+	Alias string
+}
+
+// Expr is a boolean predicate tree.
+type Expr interface{ isExpr() }
+
+// CmpExpr compares a column (optionally |column|) with a literal.
+type CmpExpr struct {
+	Col ColRef
+	Abs bool   // ABS(col) op lit
+	Op  string // = != < <= > >=
+	Lit Lit
+}
+
+func (*CmpExpr) isExpr() {}
+
+// AndExpr / OrExpr / NotExpr combine predicates.
+type AndExpr struct{ L, R Expr }
+type OrExpr struct{ L, R Expr }
+type NotExpr struct{ E Expr }
+
+func (*AndExpr) isExpr() {}
+func (*OrExpr) isExpr()  {}
+func (*NotExpr) isExpr() {}
+
+// Lit is a literal value.
+type Lit struct {
+	Kind temporal.Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+func (l Lit) value() temporal.Value {
+	switch l.Kind {
+	case temporal.KindInt:
+		return temporal.Int(l.I)
+	case temporal.KindFloat:
+		return temporal.Float(l.F)
+	case temporal.KindString:
+		return temporal.String(l.S)
+	case temporal.KindBool:
+		return temporal.Bool(l.B)
+	}
+	return temporal.Null
+}

@@ -1,0 +1,193 @@
+// Package tsql implements a StreamSQL-style textual query language over
+// the temporal engine — the second user surface the paper names ("Users
+// write temporal queries in the DSMS language... LINQ (the code for
+// StreamSQL is similar)", §III-A). Queries compile to the same
+// temporal.Plan the builder produces, so everything TiMR does (annotate,
+// optimize, fragment, distribute) applies unchanged.
+//
+// The dialect covers the paper's workload:
+//
+//	SELECT AdId, COUNT(*) AS Cnt
+//	FROM clicks
+//	WHERE StreamId = 1
+//	GROUP BY AdId
+//	WINDOW 6h
+//	HAVING Cnt > 100
+//
+//	SELECT l.UserId, r.Keyword, r.KwCount
+//	FROM labeled AS l
+//	JOIN (SELECT UserId, KwAdId AS Keyword, COUNT(*) AS KwCount
+//	      FROM clean WHERE StreamId = 2
+//	      GROUP BY UserId, Keyword WINDOW 6h) AS r
+//	ON l.UserId = r.UserId
+//
+//	SELECT ... UNION SELECT ...
+//	... ANTIJOIN src ON a = b          (AntiSemiJoin)
+//	FROM clicks WINDOW 5m SHIFT -5m    (per-source lifetime clauses)
+//	WINDOW 6h HOP 15m                  (hopping windows)
+//	PARTITION BY UserId                (explicit exchange annotation)
+package tsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber   // integer or float literal
+	tokDuration // number with a time-unit suffix: 500ms, 30s, 15m, 6h, 2d
+	tokString   // 'quoted'
+	tokSymbol   // ( ) , . * = < > <= >= != -
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"WINDOW": true, "HOP": true, "SHIFT": true, "HAVING": true, "AS": true,
+	"JOIN": true, "ANTIJOIN": true, "ON": true, "UNION": true, "AND": true,
+	"OR": true, "NOT": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "PARTITION": true, "POINT": true, "TRUE": true,
+	"FALSE": true, "ABS": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber(start)
+		case isIdentStart(c):
+			l.lexIdent(start)
+		case strings.ContainsRune("(),.*=", rune(c)):
+			l.pos++
+			l.emit(tokSymbol, string(c), start)
+		case c == '<' || c == '>' || c == '!':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		case c == '-':
+			// A minus sign can start a negative literal.
+			l.pos++
+			if l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.lexNumber(start)
+			} else {
+				l.emit(tokSymbol, "-", start)
+			}
+		default:
+			return nil, fmt.Errorf("tsql: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// -- comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.emit(tokKeyword, up, start)
+		return
+	}
+	l.emit(tokIdent, word, start)
+}
+
+func (l *lexer) lexNumber(start int) {
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+	}
+	// Duration suffix?
+	rest := l.src[l.pos:]
+	for _, suf := range []string{"ms", "s", "m", "h", "d"} {
+		if strings.HasPrefix(rest, suf) {
+			after := l.pos + len(suf)
+			if after >= len(l.src) || !isIdentPart(l.src[after]) {
+				l.pos = after
+				l.emit(tokDuration, l.src[start:l.pos], start)
+				return
+			}
+		}
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("tsql: unterminated string at %d", start)
+	}
+	text := l.src[start+1 : l.pos]
+	l.pos++ // closing quote
+	l.emit(tokString, text, start)
+	return nil
+}

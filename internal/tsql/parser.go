@@ -1,0 +1,527 @@
+package tsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"timr/internal/temporal"
+)
+
+// Parse turns StreamSQL text into an AST.
+func Parse(src string) (Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %s, found %q", describe(kind, text), p.cur().text)
+}
+
+func describe(kind tokenKind, text string) string {
+	if text != "" {
+		return fmt.Sprintf("%q", text)
+	}
+	switch kind {
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokDuration:
+		return "duration"
+	default:
+		return "token"
+	}
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("tsql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// parseQuery := select (UNION select)*
+func (p *parser) parseQuery() (Query, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	var q Query = left
+	for p.accept(tokKeyword, "UNION") {
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q = &UnionStmt{Left: q, Right: right}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.accept(tokSymbol, "*") {
+		s.Star = true
+	} else {
+		for {
+			pr, err := p.parseProj()
+			if err != nil {
+				return nil, err
+			}
+			s.Projs = append(s.Projs, pr)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	src, err := p.parseSource()
+	if err != nil {
+		return nil, err
+	}
+	s.From = src
+	for p.at(tokKeyword, "JOIN") || p.at(tokKeyword, "ANTIJOIN") {
+		jc, err := p.parseJoin()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, jc)
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, t.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "WINDOW") {
+		d, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		s.Window = &d
+		if p.accept(tokKeyword, "HOP") {
+			h, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			s.Hop = &h
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.accept(tokKeyword, "PARTITION") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			s.Partition = append(s.Partition, t.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseProj() (ProjExpr, error) {
+	var pr ProjExpr
+	if t := p.cur(); t.kind == tokKeyword && isAggName(t.text) {
+		p.next()
+		pr.Agg = t.text
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return pr, err
+		}
+		if p.accept(tokSymbol, "*") {
+			if pr.Agg != "COUNT" {
+				return pr, p.errf("%s(*) is not valid; only COUNT(*)", pr.Agg)
+			}
+		} else {
+			c, err := p.parseColRef()
+			if err != nil {
+				return pr, err
+			}
+			pr.AggCol = c
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return pr, err
+		}
+	} else {
+		c, err := p.parseColRef()
+		if err != nil {
+			return pr, err
+		}
+		pr.Col = c
+	}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return pr, err
+		}
+		pr.Alias = t.text
+	}
+	return pr, nil
+}
+
+func isAggName(s string) bool {
+	switch s {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		t2, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: t.text, Name: t2.text}, nil
+	}
+	return ColRef{Name: t.text}, nil
+}
+
+func (p *parser) parseSource() (Source, error) {
+	var s Source
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return s, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return s, err
+		}
+		s.Sub = sub
+	} else {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return s, err
+		}
+		s.Name = t.text
+	}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return s, err
+		}
+		s.Alias = t.text
+	}
+	// Per-source lifetime clauses, in any order.
+	for {
+		switch {
+		case p.accept(tokKeyword, "WINDOW"):
+			d, err := p.parseDuration()
+			if err != nil {
+				return s, err
+			}
+			s.Window = &d
+			if p.accept(tokKeyword, "HOP") {
+				h, err := p.parseDuration()
+				if err != nil {
+					return s, err
+				}
+				s.Hop = &h
+			}
+		case p.accept(tokKeyword, "SHIFT"):
+			d, err := p.parseDuration()
+			if err != nil {
+				return s, err
+			}
+			s.Shift = &d
+		case p.accept(tokKeyword, "POINT"):
+			s.Point = true
+		default:
+			return s, nil
+		}
+	}
+}
+
+func (p *parser) parseJoin() (JoinClause, error) {
+	var jc JoinClause
+	if p.accept(tokKeyword, "ANTIJOIN") {
+		jc.Anti = true
+	} else if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+		return jc, err
+	}
+	src, err := p.parseSource()
+	if err != nil {
+		return jc, err
+	}
+	jc.Src = src
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return jc, err
+	}
+	for {
+		l, err := p.parseColRef()
+		if err != nil {
+			return jc, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return jc, err
+		}
+		r, err := p.parseColRef()
+		if err != nil {
+			return jc, err
+		}
+		jc.On = append(jc.On, ColPair{L: l, R: r})
+		if !p.accept(tokKeyword, "AND") {
+			break
+		}
+	}
+	return jc, nil
+}
+
+// parseOr := parseAnd (OR parseAnd)*
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.accept(tokSymbol, "(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	c := &CmpExpr{}
+	if p.accept(tokKeyword, "ABS") {
+		c.Abs = true
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		c.Col = col
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	} else {
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		c.Col = col
+	}
+	op := p.cur()
+	switch op.text {
+	case "=", "!=", "<", "<=", ">", ">=":
+		p.next()
+		c.Op = op.text
+	default:
+		return nil, p.errf("expected comparison operator, found %q", op.text)
+	}
+	lit, err := p.parseLit()
+	if err != nil {
+		return nil, err
+	}
+	c.Lit = lit
+	return c, nil
+}
+
+func (p *parser) parseLit() (Lit, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Lit{}, p.errf("bad float %q", t.text)
+			}
+			return Lit{Kind: temporal.KindFloat, F: f}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Lit{}, p.errf("bad integer %q", t.text)
+		}
+		return Lit{Kind: temporal.KindInt, I: i}, nil
+	case t.kind == tokDuration:
+		p.next()
+		d, err := parseDurationText(t.text)
+		if err != nil {
+			return Lit{}, err
+		}
+		return Lit{Kind: temporal.KindInt, I: int64(d)}, nil
+	case t.kind == tokString:
+		p.next()
+		return Lit{Kind: temporal.KindString, S: t.text}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.next()
+		return Lit{Kind: temporal.KindBool, B: t.text == "TRUE"}, nil
+	default:
+		return Lit{}, p.errf("expected literal, found %q", t.text)
+	}
+}
+
+func (p *parser) parseDuration() (temporal.Time, error) {
+	t := p.cur()
+	neg := false
+	if t.kind == tokSymbol && t.text == "-" {
+		p.next()
+		neg = true
+		t = p.cur()
+	}
+	if t.kind != tokDuration && t.kind != tokNumber {
+		return 0, p.errf("expected duration (e.g. 6h, 15m, 500ms), found %q", t.text)
+	}
+	p.next()
+	var d temporal.Time
+	var err error
+	if t.kind == tokNumber {
+		var i int64
+		i, err = strconv.ParseInt(t.text, 10, 64)
+		d = temporal.Time(i) // raw ticks (ms)
+	} else {
+		d, err = parseDurationText(t.text)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		d = -d
+	}
+	return d, nil
+}
+
+// parseDurationText converts "500ms", "30s", "15m", "6h", "2d" — negative
+// values come from a preceding '-' token handled by the caller or
+// embedded for literals like "-5m" lexed as one token.
+func parseDurationText(s string) (temporal.Time, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	unit := temporal.Time(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		unit, num = temporal.Tick, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = temporal.Second, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		unit, num = temporal.Minute, s[:len(s)-1]
+	case strings.HasSuffix(s, "h"):
+		unit, num = temporal.Hour, s[:len(s)-1]
+	case strings.HasSuffix(s, "d"):
+		unit, num = temporal.Day, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tsql: bad duration %q", s)
+	}
+	d := temporal.Time(v) * unit
+	if neg {
+		d = -d
+	}
+	return d, nil
+}
