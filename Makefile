@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The full pre-merge gate.
+check: vet fmt race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

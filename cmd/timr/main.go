@@ -44,6 +44,7 @@ func main() {
 	machines := flag.Int("machines", 16, "simulated cluster size")
 	window := flag.Duration("window", 6*time.Hour, "window for clickcount")
 	zThresh := flag.Float64("z", 1.28, "z threshold for bt feature selection")
+	metrics := flag.Bool("metrics", false, "print per-stage and per-operator metrics to stderr after the run")
 	flag.Parse()
 
 	rows, err := loadRows(*in)
@@ -54,7 +55,15 @@ func main() {
 
 	cluster := timr.NewCluster(timr.ClusterConfig{Machines: *machines})
 	cluster.FS.Write("events", timr.SinglePartition(timr.UnifiedSchema(), rows))
-	t := timr.New(cluster, timr.DefaultTiMRConfig())
+	cfg := timr.DefaultTiMRConfig()
+	var mroot *timr.MetricScope
+	if *metrics {
+		mroot = timr.NewMetricScope("timr")
+		cluster.Obs = mroot.Child("cluster")
+		cfg.Obs = mroot.Child("engine")
+	}
+	defer dumpMetrics(mroot)
+	t := timr.New(cluster, cfg)
 
 	if *sql != "" {
 		plan, err := tsql.Compile(*sql, tsql.Catalog{"events": timr.UnifiedSchema()})
@@ -114,6 +123,15 @@ func main() {
 	default:
 		log.Fatalf("unknown query %q", *query)
 	}
+}
+
+// dumpMetrics prints the -metrics snapshot table; no-op when the flag is
+// off (nil scope). Deferred from main so every query path reports.
+func dumpMetrics(root *timr.MetricScope) {
+	if root == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\nmetrics:\n%s", root.Table())
 }
 
 func run(t *timr.TiMR, plan *timr.Plan, out string) {

@@ -21,9 +21,9 @@ import (
 // AddEmptyExamples.
 func RowsToExamples(rows []temporal.Row) []ml.Example {
 	type key struct {
-		t      int64
-		user   int64
-		ad     int64
+		t    int64
+		user int64
+		ad   int64
 	}
 	order := make([]key, 0, len(rows))
 	grouped := make(map[key]*ml.Example)

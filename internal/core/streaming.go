@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"timr/internal/obs"
 	"timr/internal/temporal"
 )
 
@@ -65,12 +66,17 @@ func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, m
 		cfg:      cfg,
 		machines: machines,
 	}
-	j.out = &streamBuffer{deliver: func(e temporal.Event) {
-		j.results = append(j.results, e)
-		if onEvent != nil {
-			onEvent(e)
-		}
-	}}
+	outScope := cfg.Obs.Child("stream.out")
+	j.out = &streamBuffer{
+		depth:    outScope.Gauge("buffer_depth"),
+		released: outScope.Counter("barrier_releases"),
+		deliver: func(e temporal.Event) {
+			j.results = append(j.results, e)
+			if onEvent != nil {
+				onEvent(e)
+			}
+		},
+	}
 
 	// Build stages bottom-up so downstream wiring exists... fragments are
 	// already in execution (bottom-up) order; build all, then wire.
@@ -154,6 +160,18 @@ type streamStage struct {
 	nparts  int // 0 for temporal fragments (unbounded spans)
 	spans   *SpanSpec
 	keyCols [][]int // per input, payload positions of the key columns
+	// minSpan tracks the earliest span partition in existence: it owns
+	// everything before its start (mirroring SpanSpec.Owned for span 0 in
+	// batch mode), wherever the data's time origin lies.
+	minSpan int
+	hasSpan bool
+
+	// Observability (nil-safe handles; see Config.Obs).
+	scope    *obs.Scope   // per-operator engine metrics for this stage
+	depth    *obs.Gauge   // barrier buffer depth high-watermark
+	released *obs.Counter // events released through the barrier
+	clipped  *obs.Counter // output events dropped entirely at span edges
+	trimmed  *obs.Counter // output events shortened to their owned span
 }
 
 type streamPartition struct {
@@ -162,12 +180,18 @@ type streamPartition struct {
 }
 
 func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
+	sc := j.cfg.Obs.Child("stream." + frag.Name)
 	st := &streamStage{
 		frag:         frag,
 		job:          j,
 		parts:        make(map[int]*streamPartition),
 		intermediate: make([]bool, len(frag.Inputs)),
 		keyCols:      make([][]int, len(frag.Inputs)),
+		scope:        sc,
+		depth:        sc.Gauge("buffer_depth"),
+		released:     sc.Counter("barrier_releases"),
+		clipped:      sc.Counter("events_clipped"),
+		trimmed:      sc.Counter("events_trimmed"),
 	}
 	switch {
 	case frag.Part.Temporal:
@@ -192,18 +216,33 @@ func (st *streamStage) partition(id int) *streamPartition {
 		return p
 	}
 	var sink temporal.Sink = &stageOutput{stage: st, span: id}
-	eng, err := temporal.NewEngineTo(st.frag.Root, sink)
+	eng, err := temporal.NewEngineObservedTo(st.frag.Root, sink, st.scope)
 	if err != nil {
 		panic(err) // plan already compiled once during batch validation
 	}
 	eng.CTIPeriod = 0 // punctuation comes from the wave, not per-feed
 	p := &streamPartition{eng: eng}
-	p.buf = &streamBuffer{deliver: func(e temporal.Event) {
-		src := int(e.Payload[len(e.Payload)-1].AsInt()) // routing tag
-		e.Payload = e.Payload[:len(e.Payload)-1]
-		eng.Feed(st.frag.Inputs[src].ScanName, e)
-	}}
+	p.buf = &streamBuffer{
+		depth:    st.depth,
+		released: st.released,
+		deliver: func(e temporal.Event) {
+			src := int(e.Payload[len(e.Payload)-1].AsInt()) // routing tag
+			e.Payload = e.Payload[:len(e.Payload)-1]
+			eng.Feed(st.frag.Inputs[src].ScanName, e)
+		},
+	}
 	st.parts[id] = p
+	if st.spans != nil && (!st.hasSpan || id < st.minSpan) {
+		// New earliest span: it inherits ownership of everything before
+		// it. Safe to move while the job runs: a span earlier than all
+		// existing ones can only be created by an event below every
+		// existing span's start, and the punctuation waves that release
+		// output never run past the earliest pending input (§VII barrier
+		// contract), so no output in the re-assigned region has been
+		// emitted yet.
+		st.minSpan = id
+		st.hasSpan = true
+	}
 	return p
 }
 
@@ -261,15 +300,25 @@ func (o *stageOutput) OnEvent(e temporal.Event) {
 	if st.spans != nil {
 		start := temporal.Time(o.span) * st.spans.Width
 		end := start + st.spans.Width
-		if _, ok := st.parts[o.span-1]; !ok && o.span <= 0 {
-			// The earliest span owns everything before it (shifted
-			// lifetimes can reach below the data's origin).
+		if o.span == st.minSpan {
+			// The earliest *existing* span owns everything before it
+			// (shifted lifetimes can reach below the data's origin) —
+			// matching SpanSpec.Owned, where batch span 0 takes MinTime.
+			// Keying on the actual earliest span rather than id <= 0
+			// matters when the data starts at a large positive time: the
+			// earliest lazy span id is then far above zero, and gating on
+			// the id would silently discard output below its span start.
 			start = temporal.MinTime
 		}
-		e.LE, e.RE = maxT(e.LE, start), minT(e.RE, end)
-		if e.LE >= e.RE {
+		le, re := maxT(e.LE, start), minT(e.RE, end)
+		if le >= re {
+			st.clipped.Inc()
 			return
 		}
+		if le != e.LE || re != e.RE {
+			st.trimmed.Inc()
+		}
+		e.LE, e.RE = le, re
 	}
 	if st.frag.Final {
 		st.job.out.push(e)
@@ -296,12 +345,15 @@ func floorDivT(a, b temporal.Time) temporal.Time {
 // streamBuffer holds events arriving from many ordered producers and
 // releases them in LE order once a punctuation guarantees completeness.
 type streamBuffer struct {
-	pending []temporal.Event
-	deliver func(temporal.Event)
+	pending  []temporal.Event
+	deliver  func(temporal.Event)
+	depth    *obs.Gauge   // high-watermark of pending (nil-safe)
+	released *obs.Counter // events delivered through the barrier
 }
 
 func (b *streamBuffer) push(e temporal.Event) {
 	b.pending = append(b.pending, e)
+	b.depth.SetMax(int64(len(b.pending)))
 }
 
 // advance releases events with LE < t in sorted order (events at or
@@ -315,6 +367,7 @@ func (b *streamBuffer) advance(t temporal.Time) {
 	// regardless of the arrival interleaving across upstream partitions.
 	temporal.SortEvents(b.pending)
 	n := sort.Search(len(b.pending), func(i int) bool { return b.pending[i].LE >= t })
+	b.released.Add(int64(n))
 	for _, e := range b.pending[:n] {
 		b.deliver(e)
 	}

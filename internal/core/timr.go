@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"timr/internal/mapreduce"
+	"timr/internal/obs"
 	"timr/internal/temporal"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	// Coalesce canonicalizes fragment output (merging events fragmented
 	// at CTI boundaries) before it is written back to the FS.
 	Coalesce bool
+	// Obs, when set, receives per-operator engine metrics under a
+	// "frag.<name>" child scope per fragment (batch reducers) or
+	// "stream.<name>" (streaming stages). Engines of all partitions of a
+	// fragment share the scope, so counts aggregate across the cluster.
+	// Nil disables instrumentation.
+	Obs *obs.Scope
 }
 
 // DefaultConfig mirrors the defaults used throughout the evaluation.
@@ -219,6 +226,10 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
 	}
 	root := frag.Root
 	cfg := t.Cfg
+	// One scope per fragment, shared by every partition's engine (and by
+	// retried attempts): obs handles are atomics, so parallel reducers on
+	// the worker pool aggregate into the same per-operator counters.
+	scope := cfg.Obs.Child("frag." + frag.Name)
 
 	return func(part int, in [][]mapreduce.Row, emit func(mapreduce.Row)) error {
 		// The DSMS pushes results asynchronously while M-R pulls rows
@@ -228,7 +239,7 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
 		sink := &temporal.FuncSink{
 			Event: func(e temporal.Event) { queue <- e },
 		}
-		eng, err := temporal.NewEngineTo(root, sink)
+		eng, err := temporal.NewEngineObservedTo(root, sink, scope)
 		if err != nil {
 			return err
 		}

@@ -50,22 +50,25 @@ func FailureRecovery(c *Context) (*Table, error) {
 
 	t := &Table{
 		Title:  "§III-C.1: repeatability and cost under reducer failures (BotElim phase)",
-		Header: []string{"failure rate", "failed attempts", "output identical", "wall time vs clean"},
+		Header: []string{"failure rate", "failed attempts", "retry time", "output identical", "wall time vs clean"},
 	}
-	t.AddRow("0%", "0", "-", refWall.Round(time.Millisecond).String())
+	t.AddRow("0%", "0", "0s", "-", refWall.Round(time.Millisecond).String())
 	for _, rate := range []float64{0.1, 0.3, 0.5} {
 		events, stat, wall, err := run(rate, 7)
 		if err != nil {
 			return nil, err
 		}
 		failures := 0
+		var retry time.Duration
 		for _, st := range stat.Stages {
 			failures += st.Failures
+			retry += st.TotalRetryTime()
 		}
 		identical := temporal.EventsEqual(events, ref)
 		t.AddRow(
 			pct(rate),
 			fmt.Sprintf("%d (of %d tasks)", failures, refAttempts),
+			retry.Round(time.Millisecond).String(),
 			fmt.Sprintf("%v", identical),
 			fmt.Sprintf("%s (%.2fx)", wall.Round(time.Millisecond), float64(wall)/float64(refWall)),
 		)

@@ -9,6 +9,7 @@ import (
 	"timr/internal/core"
 	"timr/internal/mapreduce"
 	"timr/internal/ml"
+	"timr/internal/obs"
 	"timr/internal/temporal"
 	"timr/internal/workload"
 )
@@ -21,6 +22,11 @@ type Options struct {
 	// Quick shrinks workloads for fast CI runs; the full configuration is
 	// used by cmd/experiments and the benchmarks.
 	Quick bool
+	// Obs collects cluster- and engine-level metrics for the run. Every
+	// experiment gets one (DefaultOptions attaches a fresh root), so
+	// figures can report observed counters — e.g. retry time in the
+	// failure experiment — instead of re-deriving them.
+	Obs *obs.Scope
 }
 
 // DefaultOptions is the full-scale configuration: a 7-day log split into
@@ -30,7 +36,7 @@ func DefaultOptions() Options {
 	p := bt.DefaultParams()
 	p.TrainPeriod = temporal.Time(w.Days) * temporal.Day / 2
 	p.ZThreshold = 0 // keep all supported scores; schemes threshold later
-	return Options{Workload: w, Params: p, Machines: 150}
+	return Options{Workload: w, Params: p, Machines: 150, Obs: obs.New("experiment")}
 }
 
 // QuickOptions is a scaled-down configuration for tests.
@@ -71,7 +77,10 @@ type BTRun struct {
 func RunBT(opt Options) (*BTRun, error) {
 	data := workload.Generate(opt.Workload)
 	cl := mapreduce.NewCluster(mapreduce.Config{Machines: opt.Machines})
-	tm := core.New(cl, core.DefaultConfig())
+	cl.Obs = opt.Obs.Child("cluster")
+	cfg := core.DefaultConfig()
+	cfg.Obs = opt.Obs.Child("engine")
+	tm := core.New(cl, cfg)
 	cl.FS.Write("events", mapreduce.SinglePartition(workload.UnifiedSchema(), data.Rows))
 
 	pipe := bt.NewPipeline(opt.Params, tm)

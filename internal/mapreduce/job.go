@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"timr/internal/obs"
 	"timr/internal/temporal"
 )
 
@@ -68,18 +69,25 @@ type TaskStat struct {
 	Rows      int
 	Attempts  int
 	Duration  time.Duration // successful attempt only
+	// RetryTime is the time burned by failed attempts of this task. The
+	// cluster really runs those attempts (and discards their output), so
+	// their cost must appear in the load model: a machine that spends 3
+	// attempts on a partition is occupied for all 3, and with a nonzero
+	// failure rate the makespan must grow accordingly.
+	RetryTime time.Duration
 }
 
 // StageStat aggregates a stage's accounting.
 type StageStat struct {
-	Name        string
-	InputRows   int
-	ShuffleRows int
-	OutputRows  int
-	Partitions  int
-	Failures    int
-	Tasks       []TaskStat
-	WallTime    time.Duration // real elapsed time of the stage
+	Name         string
+	InputRows    int
+	ShuffleRows  int
+	ShuffleBytes int // estimated repartitioned volume (see RowBytes)
+	OutputRows   int
+	Partitions   int
+	Failures     int
+	Tasks        []TaskStat
+	WallTime     time.Duration // real elapsed time of the stage
 }
 
 // TotalTaskTime sums successful reducer durations (the "work").
@@ -91,6 +99,45 @@ func (s *StageStat) TotalTaskTime() time.Duration {
 	return d
 }
 
+// TotalRetryTime sums time spent in failed attempts across tasks.
+func (s *StageStat) TotalRetryTime() time.Duration {
+	var d time.Duration
+	for _, t := range s.Tasks {
+		d += t.RetryTime
+	}
+	return d
+}
+
+// MaxTaskRows returns the largest reducer input (rows) across tasks.
+func (s *StageStat) MaxTaskRows() int {
+	max := 0
+	for _, t := range s.Tasks {
+		if t.Rows > max {
+			max = t.Rows
+		}
+	}
+	return max
+}
+
+// RowSkew is the per-partition skew of the stage: max reducer input over
+// mean reducer input (1.0 = perfectly balanced). Skew bounds speedup —
+// the slowest reducer gates the stage — which is why the paper's
+// temporal partitioning matters for keyless queries.
+func (s *StageStat) RowSkew() float64 {
+	if len(s.Tasks) == 0 {
+		return 0
+	}
+	total := 0
+	for _, t := range s.Tasks {
+		total += t.Rows
+	}
+	mean := float64(total) / float64(len(s.Tasks))
+	if mean == 0 {
+		return 0
+	}
+	return float64(s.MaxTaskRows()) / mean
+}
+
 // Makespan computes the simulated completion time of the stage's reducer
 // tasks on m machines via LPT list scheduling, plus the modeled shuffle
 // cost (which is perfectly parallel across machines).
@@ -100,7 +147,9 @@ func (s *StageStat) Makespan(m int, shufflePerRow time.Duration) time.Duration {
 	}
 	durs := make([]time.Duration, len(s.Tasks))
 	for i, t := range s.Tasks {
-		durs[i] = t.Duration
+		// A task occupies its machine for the failed attempts too; M-R
+		// restarts a failed reducer from scratch on the same input.
+		durs[i] = t.Duration + t.RetryTime
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] > durs[j] })
 	loads := make([]time.Duration, m)
@@ -143,6 +192,10 @@ func (j *JobStat) Makespan(m int, shufflePerRow time.Duration) time.Duration {
 type Cluster struct {
 	FS  *FS
 	Cfg Config
+	// Obs, when set, receives per-stage metrics under a "stage.<name>"
+	// child scope: row/byte counters, failure and retry accounting, task
+	// duration histograms, and skew gauges. Nil disables emission.
+	Obs *obs.Scope
 }
 
 // NewCluster builds a cluster over a fresh FS.
@@ -206,16 +259,19 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 		for _, partition := range ds.Partitions {
 			for _, r := range partition {
 				stat.InputRows++
+				b := RowBytes(r)
 				if s.MultiPartition != nil {
 					for _, p := range s.MultiPartition(r, src, nparts) {
 						parts[p][src] = append(parts[p][src], r)
 						stat.ShuffleRows++
+						stat.ShuffleBytes += b
 					}
 					continue
 				}
 				p := int(s.Partition(r, src) % uint64(nparts))
 				parts[p][src] = append(parts[p][src], r)
 				stat.ShuffleRows++
+				stat.ShuffleBytes += b
 			}
 		}
 	}
@@ -258,7 +314,10 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 				if fail {
 					// The attempt's partial output is discarded, exactly
 					// as M-R discards output of failed reducers; the task
-					// is then restarted from scratch (§III-C.1).
+					// is then restarted from scratch (§III-C.1). The time
+					// it burned is real machine occupancy, though — charge
+					// it, or makespans would be blind to the failure rate.
+					res.stat.RetryTime += time.Since(t0)
 					continue
 				}
 				if err != nil {
@@ -296,7 +355,46 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 		c.FS.Write(s.Output, out)
 	}
 	stat.WallTime = time.Since(start)
+	c.emitStageMetrics(stat)
 	return stat, nil
+}
+
+// emitStageMetrics publishes a completed stage's accounting into the
+// cluster's obs scope (no-op when Obs is nil). Counters accumulate across
+// jobs run on the same cluster; gauges are high watermarks.
+func (c *Cluster) emitStageMetrics(stat *StageStat) {
+	if c.Obs == nil {
+		return
+	}
+	sc := c.Obs.Child("stage." + stat.Name)
+	sc.Counter("input_rows").Add(int64(stat.InputRows))
+	sc.Counter("shuffle_rows").Add(int64(stat.ShuffleRows))
+	sc.Counter("shuffle_bytes").Add(int64(stat.ShuffleBytes))
+	sc.Counter("output_rows").Add(int64(stat.OutputRows))
+	sc.Counter("tasks").Add(int64(len(stat.Tasks)))
+	sc.Counter("failures").Add(int64(stat.Failures))
+	sc.Counter("retry_ns").Add(int64(stat.TotalRetryTime()))
+	sc.Gauge("max_task_rows").SetMax(int64(stat.MaxTaskRows()))
+	// Skew ×100 so the integer gauge keeps two decimals of resolution.
+	sc.Gauge("row_skew_x100").SetMax(int64(stat.RowSkew() * 100))
+	h := sc.Histogram("task_time")
+	for _, t := range stat.Tasks {
+		h.Observe(t.Duration + t.RetryTime)
+	}
+}
+
+// RowBytes estimates the serialized size of a row for shuffle-volume
+// accounting: 8 bytes per fixed-width value (int/float/bool/null tag)
+// plus string payload bytes. The estimate prices relative stage volume,
+// not any particular wire format.
+func RowBytes(r Row) int {
+	n := 8 * len(r)
+	for _, v := range r {
+		if v.Kind() == temporal.KindString {
+			n += len(v.AsString())
+		}
+	}
+	return n
 }
 
 // PartitionByCols builds a Partition function hashing the given column

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"timr/internal/obs"
 	"timr/internal/temporal"
 )
 
@@ -303,6 +304,126 @@ func TestMakespanShuffleCost(t *testing.T) {
 	}
 	if with-without != 500*time.Microsecond {
 		t.Errorf("shuffle charge = %v", with-without)
+	}
+}
+
+// Failed attempts occupy the machine that runs them, so a nonzero
+// failure rate must strictly increase the modeled makespan. This is the
+// regression test for the failure-accounting bug where retry time was
+// measured and then thrown away, making 0% and 50% failure rates report
+// identical makespans.
+func TestMakespanChargesRetryTime(t *testing.T) {
+	clean := StageStat{Tasks: []TaskStat{
+		{Duration: time.Second}, {Duration: time.Second},
+	}}
+	faulty := StageStat{Tasks: []TaskStat{
+		{Duration: time.Second, RetryTime: 500 * time.Millisecond},
+		{Duration: time.Second},
+	}}
+	if got, want := faulty.Makespan(1, 0), 2500*time.Millisecond; got != want {
+		t.Errorf("faulty makespan on 1 machine = %v, want %v", got, want)
+	}
+	if faulty.Makespan(1, 0) <= clean.Makespan(1, 0) {
+		t.Error("retry time not charged: faulty makespan <= clean makespan")
+	}
+	// On 2 machines LPT puts each task on its own machine; the retried
+	// task still gates the stage.
+	if got, want := faulty.Makespan(2, 0), 1500*time.Millisecond; got != want {
+		t.Errorf("faulty makespan on 2 machines = %v, want %v", got, want)
+	}
+}
+
+// End to end: run a real job under injected failures and check the
+// retry time is measured and strictly increases the makespan over the
+// stage's successful work alone. On one simulated machine the makespan
+// is exactly Σ(duration+retry), so the comparison is deterministic even
+// though individual timings are not.
+func TestFailureRateIncreasesMakespan(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c := NewCluster(Config{Machines: 4, FailureRate: 0.5, Seed: seed, MaxAttempts: 50})
+		c.FS.Write("in", SinglePartition(kvSchema(), kvRows(200)))
+		stat, err := c.Run(sumStage("in", "out", 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := stat.Stages[0]
+		if st.Failures == 0 {
+			continue // this seed happened to inject nothing; try the next
+		}
+		if st.TotalRetryTime() <= 0 {
+			t.Fatalf("seed %d: %d failures but TotalRetryTime = %v", seed, st.Failures, st.TotalRetryTime())
+		}
+		if got, want := st.Makespan(1, 0), st.TotalTaskTime()+st.TotalRetryTime(); got != want {
+			t.Fatalf("seed %d: makespan(1) = %v, want work+retry = %v", seed, got, want)
+		}
+		if st.Makespan(1, 0) <= st.TotalTaskTime() {
+			t.Fatalf("seed %d: makespan does not exceed failure-free work", seed)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..10 injected a failure at rate 0.5")
+}
+
+func TestStageSkewAndShuffleBytes(t *testing.T) {
+	c := NewCluster(Config{Machines: 4})
+	rows := kvRows(100)
+	c.FS.Write("in", SinglePartition(kvSchema(), rows))
+	// Route everything to partition 0 except key 1: maximal skew.
+	stage := sumStage("in", "out", 2)
+	stage.Partition = func(r Row, src int) uint64 {
+		if r[0].AsInt() == 1 {
+			return 1
+		}
+		return 0
+	}
+	stat, err := c.Run(stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stat.Stages[0]
+	wantBytes := 0
+	for _, r := range rows {
+		wantBytes += RowBytes(r)
+	}
+	if st.ShuffleBytes != wantBytes {
+		t.Errorf("ShuffleBytes = %d, want %d", st.ShuffleBytes, wantBytes)
+	}
+	// kvRows(100) has 15 rows with key 1 and 85 with other keys:
+	// max/mean = 85/50.
+	if got, want := st.RowSkew(), 85.0/50.0; got != want {
+		t.Errorf("RowSkew = %v, want %v", got, want)
+	}
+	if st.MaxTaskRows() != 85 {
+		t.Errorf("MaxTaskRows = %d, want 85", st.MaxTaskRows())
+	}
+}
+
+func TestRowBytes(t *testing.T) {
+	r := Row{temporal.Int(1), temporal.String("hello"), temporal.Float(2.5)}
+	if got := RowBytes(r); got != 3*8+5 {
+		t.Errorf("RowBytes = %d, want %d", got, 3*8+5)
+	}
+}
+
+func TestClusterEmitsStageMetrics(t *testing.T) {
+	c := NewCluster(Config{Machines: 4})
+	c.Obs = obs.New("cluster")
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(100)))
+	if _, err := c.Run(sumStage("in", "out", 4)); err != nil {
+		t.Fatal(err)
+	}
+	sc := c.Obs.Child("stage.sum")
+	if got := sc.Counter("input_rows").Value(); got != 100 {
+		t.Errorf("input_rows = %d, want 100", got)
+	}
+	if got := sc.Counter("output_rows").Value(); got != 7 {
+		t.Errorf("output_rows = %d, want 7", got)
+	}
+	if sc.Counter("shuffle_bytes").Value() <= 0 {
+		t.Error("shuffle_bytes not emitted")
+	}
+	if got := sc.Histogram("task_time").Count(); got <= 0 {
+		t.Error("task_time histogram empty")
 	}
 }
 

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrent increments from many goroutines must not lose updates and
+// must be clean under -race: reducers on the worker pool share metric
+// handles for the same fragment.
+func TestCounterConcurrent(t *testing.T) {
+	root := New("t")
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve through the scope each time: get-or-create must
+			// hand every goroutine the same counter.
+			c := root.Child("stage").Counter("rows")
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := root.Child("stage").Counter("rows").Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	root := New("t")
+	g := root.Gauge("depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.SetMax(int64(i*500 + j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8*500-1 {
+		t.Fatalf("gauge max = %d, want %d", got, 8*500-1)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	root := New("t")
+	h := root.Histogram("lat")
+	for _, d := range []time.Duration{3 * time.Millisecond, time.Millisecond, 7 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 || h.Sum() != 11*time.Millisecond ||
+		h.Min() != time.Millisecond || h.Max() != 7*time.Millisecond {
+		t.Fatalf("histogram = n=%d sum=%s min=%s max=%s", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+// Snapshot order must be deterministic regardless of creation order, and
+// repeated snapshots of a quiesced tree must be identical.
+func TestSnapshotDeterministic(t *testing.T) {
+	root := New("root")
+	root.Child("b").Counter("z").Add(2)
+	root.Child("b").Counter("a").Add(1)
+	root.Child("a").Child("x").Gauge("g").Set(5)
+	root.Counter("top").Add(9)
+	root.Histogram("h").Observe(time.Millisecond)
+
+	s1, s2 := root.Snapshot(), root.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%v\n%v", s1, s2)
+	}
+	var got []string
+	for _, p := range s1 {
+		got = append(got, p.Scope+" "+p.Name)
+	}
+	want := []string{"root h", "root top", "root.a.x g", "root.b a", "root.b z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot order = %v, want %v", got, want)
+	}
+	if s1[1].Value != 9 || s1[4].Value != 2 || s1[0].Count != 1 {
+		t.Fatalf("snapshot values wrong: %+v", s1)
+	}
+}
+
+// Everything must be a no-op (and not panic) on nil receivers: that is
+// the whole mechanism by which disabled observability costs nothing.
+func TestNilSafety(t *testing.T) {
+	var s *Scope
+	if s.Child("x") != nil || s.Snapshot() != nil || s.Table() != "" || s.Name() != "" {
+		t.Fatal("nil scope must yield nil children and empty snapshots")
+	}
+	c := s.Counter("c")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	g := s.Gauge("g")
+	g.Set(3)
+	g.SetMax(4)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	h := s.Histogram("h")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	root := New("timr")
+	root.Child("stage").Counter("rows").Add(42)
+	root.Child("stage").Histogram("task_time").Observe(1500 * time.Microsecond)
+	tab := root.Table()
+	for _, want := range []string{"scope", "timr.stage", "rows", "42", "task_time", "n=1"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+	if New("empty").Table() != "" {
+		t.Fatal("empty scope must render empty table")
+	}
+}

@@ -1,6 +1,10 @@
 package temporal
 
-import "fmt"
+import (
+	"fmt"
+
+	"timr/internal/obs"
+)
 
 // Pipeline is a compiled physical query: one entry Sink per named source
 // plus the caller-supplied output sink. Feeding events (nondecreasing LE
@@ -53,13 +57,30 @@ func (p *Pipeline) FlushAll() {
 // Compile turns a logical plan into a physical pipeline delivering results
 // to out. Plans may be DAGs; shared nodes become physical multicasts.
 func Compile(root *Plan, out Sink) (*Pipeline, error) {
+	return CompileObserved(root, out, nil)
+}
+
+// CompileObserved is Compile with per-operator instrumentation: every
+// physical operator reports events in/out, propagated CTIs, live state
+// size, and watermark lag into a child of scope named "opNN.Kind" (NN =
+// pre-order DFS position; see opName), and each source reports fed
+// events/CTIs under "source.<name>". A nil scope compiles with zero
+// instrumentation, identical to Compile.
+func CompileObserved(root *Plan, out Sink, scope *obs.Scope) (*Pipeline, error) {
 	c := &compiler{
 		parents: make(map[*Plan][]parentRef),
 		ops:     make(map[*Plan][]Sink),
 		root:    root,
 		rootOut: out,
+		obs:     scope,
 	}
 	c.collectParents(root, make(map[*Plan]bool))
+	if scope != nil {
+		// Operator ids come from a deterministic pre-order walk, not from
+		// build order (map iteration below is randomized).
+		c.ids = make(map[*Plan]int)
+		walkInputs(root, func(n *Plan) { c.ids[n] = len(c.ids) })
+	}
 	pl := &Pipeline{inputs: make(map[string]Sink), schemas: make(map[string]*Schema), out: root.Out}
 	// Group scan leaves by source: one feed may supply several leaves.
 	// Only this plan's own DAG is walked; GroupApply sub-plans have their
@@ -84,7 +105,12 @@ func Compile(root *Plan, out Sink) (*Pipeline, error) {
 				return nil, fmt.Errorf("temporal: source %s scanned with conflicting schemas", source)
 			}
 		}
-		pl.inputs[source] = fanOut(sinks)
+		in := fanOut(sinks)
+		if scope != nil {
+			sc := scope.Child("source." + source)
+			in = &meterOut{events: sc.Counter("events"), ctis: sc.Counter("ctis"), out: in}
+		}
+		pl.inputs[source] = in
 		pl.schemas[source] = leaves[0].Out
 	}
 	return pl, nil
@@ -100,6 +126,8 @@ type compiler struct {
 	ops     map[*Plan][]Sink // node -> entry sink per input position
 	root    *Plan
 	rootOut Sink
+	obs     *obs.Scope    // nil = no instrumentation
+	ids     map[*Plan]int // deterministic operator ids (obs only)
 }
 
 func (c *compiler) collectParents(n *Plan, seen map[*Plan]bool) {
@@ -152,10 +180,34 @@ func (c *compiler) inputSink(n *Plan, idx int) Sink {
 // and returns the entry sink(s) for its input position(s).
 func (c *compiler) build(n *Plan) []Sink {
 	out := c.outputSink(n)
+	if n.Kind == OpExchange {
+		// Logical annotation only; a single-node pipeline passes through,
+		// and metering it would double-count its input's events.
+		return []Sink{out}
+	}
+	var m *opMetrics
+	if c.obs != nil {
+		m = newOpMetrics(c.obs.Child(c.opName(n)))
+		out = &meterOut{events: m.eventsOut, ctis: m.ctis, out: out}
+	}
+	entries, op := c.buildOp(n, out)
+	if m != nil {
+		m.sizer, _ = op.(stateSizer)
+		for i := range entries {
+			entries[i] = &meterIn{m: m, out: entries[i]}
+		}
+	}
+	return entries
+}
+
+// buildOp constructs the physical operator itself, returning its entry
+// sink(s) plus the operator instance (for state-size instrumentation).
+func (c *compiler) buildOp(n *Plan, out Sink) ([]Sink, any) {
 	in := n.Inputs[0].Out // schema of the first input
 	switch n.Kind {
 	case OpSelect:
-		return []Sink{&filterOp{pred: n.Pred.compile(in), out: out}}
+		f := &filterOp{pred: n.Pred.compile(in), out: out}
+		return []Sink{f}, f
 	case OpProject:
 		fns := make([]func(Row) Value, len(n.Projs))
 		for i, pr := range n.Projs {
@@ -166,9 +218,11 @@ func (c *compiler) build(n *Plan) []Sink {
 				fns[i] = pr.Make(in.Indexes(pr.Cols...))
 			}
 		}
-		return []Sink{&projectOp{fns: fns, out: out}}
+		p := &projectOp{fns: fns, out: out}
+		return []Sink{p}, p
 	case OpAlterLifetime:
-		return []Sink{&alterLifetimeOp{mode: n.Mode, window: n.Window, hop: n.Hop, shift: n.Shift, out: out}}
+		a := &alterLifetimeOp{mode: n.Mode, window: n.Window, hop: n.Hop, shift: n.Shift, out: out}
+		return []Sink{a}, a
 	case OpAggregate:
 		col := -1
 		var kind Kind
@@ -176,7 +230,8 @@ func (c *compiler) build(n *Plan) []Sink {
 			col = in.MustIndex(n.AggCol)
 			kind = in.Field(col).Kind
 		}
-		return []Sink{newAggregateOp(newAggState(n.Agg, col, kind), out)}
+		a := newAggregateOp(newAggState(n.Agg, col, kind), out)
+		return []Sink{a}, a
 	case OpGroupApply:
 		keys := in.Indexes(n.Keys...)
 		sub := n.Sub
@@ -187,10 +242,11 @@ func (c *compiler) build(n *Plan) []Sink {
 			}
 			return entry
 		}
-		return []Sink{newGroupApplyOp(keys, factory, sub.MaxWindow(), out)}
+		g := newGroupApplyOp(keys, factory, sub.MaxWindow(), out)
+		return []Sink{g}, g
 	case OpUnion:
 		u := newUnionOp(out)
-		return []Sink{u.m.input(sideLeft), u.m.input(sideRight)}
+		return []Sink{u.m.input(sideLeft), u.m.input(sideRight)}, u
 	case OpTemporalJoin:
 		rin := n.Inputs[1].Out
 		var cond func(l, r Row) bool
@@ -198,16 +254,14 @@ func (c *compiler) build(n *Plan) []Sink {
 			cond = n.JoinCond.Make(in.Indexes(n.JoinCond.LeftCols...), rin.Indexes(n.JoinCond.RightCols...))
 		}
 		j := newTemporalJoinOp(in.Indexes(n.Keys...), rin.Indexes(n.RightKeys...), cond, out)
-		return []Sink{j.m.input(sideLeft), j.m.input(sideRight)}
+		return []Sink{j.m.input(sideLeft), j.m.input(sideRight)}, j
 	case OpAntiSemiJoin:
 		rin := n.Inputs[1].Out
 		a := newAntiSemiJoinOp(in.Indexes(n.Keys...), rin.Indexes(n.RightKeys...), out)
-		return []Sink{a.m.input(sideLeft), a.m.input(sideRight)}
+		return []Sink{a.m.input(sideLeft), a.m.input(sideRight)}, a
 	case OpUDO:
-		return []Sink{newHoppingUDOOp(n.UDO, out)}
-	case OpExchange:
-		// Logical annotation only; a single-node pipeline passes through.
-		return []Sink{out}
+		u := newHoppingUDOOp(n.UDO, out)
+		return []Sink{u}, u
 	default:
 		panic("temporal: cannot build operator for " + n.Kind.String())
 	}

@@ -1,6 +1,10 @@
 package temporal
 
-import "sort"
+import (
+	"sort"
+
+	"timr/internal/obs"
+)
 
 // Engine hosts a compiled pipeline together with a result collector. It is
 // the "embedded DSMS server instance" that TiMR creates inside reducers
@@ -21,19 +25,31 @@ type Engine struct {
 }
 
 // NewEngine compiles the plan with an internal collector for results.
-func NewEngine(plan *Plan) (*Engine, error) {
+func NewEngine(plan *Plan) (*Engine, error) { return NewEngineObserved(plan, nil) }
+
+// NewEngineTo compiles the plan delivering results to a caller-supplied
+// sink (e.g. a live dashboard in the real-time examples).
+func NewEngineTo(plan *Plan, out Sink) (*Engine, error) {
+	return NewEngineObservedTo(plan, out, nil)
+}
+
+// NewEngineObserved is NewEngine with per-operator instrumentation
+// reporting into scope (see CompileObserved). A nil scope disables it.
+func NewEngineObserved(plan *Plan, scope *obs.Scope) (*Engine, error) {
 	col := &Collector{}
-	p, err := Compile(plan, col)
+	p, err := CompileObserved(plan, col, scope)
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{pipeline: p, collect: col, sink: col, CTIPeriod: Hour, lastCTI: MinTime}, nil
 }
 
-// NewEngineTo compiles the plan delivering results to a caller-supplied
-// sink (e.g. a live dashboard in the real-time examples).
-func NewEngineTo(plan *Plan, out Sink) (*Engine, error) {
-	p, err := Compile(plan, out)
+// NewEngineObservedTo is NewEngineTo with per-operator instrumentation
+// reporting into scope (see CompileObserved). A nil scope disables it.
+// Engines for different partitions of the same fragment may share one
+// scope: metric handles are shared atomics, so counts aggregate.
+func NewEngineObservedTo(plan *Plan, out Sink, scope *obs.Scope) (*Engine, error) {
+	p, err := CompileObserved(plan, out, scope)
 	if err != nil {
 		return nil, err
 	}

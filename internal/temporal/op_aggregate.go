@@ -15,8 +15,8 @@ type aggState interface {
 
 type countState struct{ n int64 }
 
-func (s *countState) Insert(Row)   { s.n++ }
-func (s *countState) Remove(Row)   { s.n-- }
+func (s *countState) Insert(Row)    { s.n++ }
+func (s *countState) Remove(Row)    { s.n-- }
 func (s *countState) Result() Value { return Int(s.n) }
 
 // ---- Sum / Avg ----
@@ -83,7 +83,7 @@ func (h valueHeap) Less(i, j int) bool {
 	}
 	return c < 0
 }
-func (h valueHeap) Swap(i, j int)      { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
+func (h valueHeap) Swap(i, j int)       { h.vals[i], h.vals[j] = h.vals[j], h.vals[i] }
 func (h *valueHeap) Push(x interface{}) { h.vals = append(h.vals, x.(Value)) }
 func (h *valueHeap) Pop() interface{} {
 	old := h.vals
@@ -189,6 +189,10 @@ type aggregateOp struct {
 func newAggregateOp(state aggState, out Sink) *aggregateOp {
 	return &aggregateOp{state: state, cur: MinTime, out: out}
 }
+
+// liveState counts open lifetimes awaiting expiration — the sweep's
+// working set.
+func (a *aggregateOp) liveState() int { return len(a.exp) }
 
 func (a *aggregateOp) emitSegment(upto Time) {
 	if a.active > 0 && a.cur < upto {

@@ -35,6 +35,7 @@ type groupApplyOp struct {
 	// CTIs delay downstream output release, never change it.
 	gap           Time
 	lastBroadcast Time
+	ninst         int // total group instances ever created (never removed)
 	arena         rowArena
 }
 
@@ -84,8 +85,14 @@ func (g *groupApplyOp) instance(r Row) *groupInstance {
 	inst := &groupInstance{key: key, lastLE: MinTime, lastCTI: MinTime}
 	inst.entry = g.factory(&stageSink{op: g, key: key})
 	g.groups[h] = append(g.groups[h], inst)
+	g.ninst++
 	return inst
 }
+
+// liveState counts group instances plus staged output events. Instances
+// are never torn down (quiescent ones are merely skipped), so this is the
+// operator's true memory footprint driver.
+func (g *groupApplyOp) liveState() int { return g.ninst + len(g.staged) }
 
 // quiescent reports whether the instance can be skipped for punctuation:
 // its state horizon (last event + max window extent) has passed and a CTI

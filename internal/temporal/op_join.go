@@ -115,6 +115,13 @@ func (m *merger) pop(side int) {
 	m.cons.onMerged(side, e)
 }
 
+// bufferedLen reports how many events are held awaiting the other side
+// (live-state accounting for the observability layer).
+func (m *merger) bufferedLen() int {
+	return (len(m.bufs[sideLeft]) - m.heads[sideLeft]) +
+		(len(m.bufs[sideRight]) - m.heads[sideRight])
+}
+
 func (m *merger) forwardCTI() {
 	t := minTime(m.bound(sideLeft), m.bound(sideRight))
 	if t > m.lastCTI && t != MaxTime {
@@ -140,6 +147,7 @@ func newUnionOp(out Sink) *unionOp {
 func (u *unionOp) onMerged(_ int, e Event) { u.out.OnEvent(e) }
 func (u *unionOp) onMergedCTI(t Time)      { u.out.OnCTI(t) }
 func (u *unionOp) onMergedFlush()          { u.out.OnFlush() }
+func (u *unionOp) liveState() int          { return u.m.bufferedLen() }
 
 // ---- TemporalJoin ----
 
@@ -265,6 +273,10 @@ func (j *temporalJoinOp) onMergedCTI(t Time) {
 
 func (j *temporalJoinOp) onMergedFlush() { j.out.OnFlush() }
 
+func (j *temporalJoinOp) liveState() int {
+	return j.m.bufferedLen() + j.syn[sideLeft].size + j.syn[sideRight].size
+}
+
 // ---- AntiSemiJoin ----
 
 // antiSemiJoinOp emits left point events with no matching right event
@@ -273,10 +285,10 @@ func (j *temporalJoinOp) onMergedFlush() { j.out.OnFlush() }
 // be point events (the only form the paper's queries use; the general
 // interval form would require lifetime subtraction).
 type antiSemiJoinOp struct {
-	m    *merger
-	syn  *synopsis // right side
-	lkey []int
-	out  Sink
+	m        *merger
+	syn      *synopsis // right side
+	lkey     []int
+	out      Sink
 	lastTidy Time
 }
 
@@ -314,3 +326,4 @@ func (a *antiSemiJoinOp) onMergedCTI(t Time) {
 }
 
 func (a *antiSemiJoinOp) onMergedFlush() { a.out.OnFlush() }
+func (a *antiSemiJoinOp) liveState() int { return a.m.bufferedLen() + a.syn.size }

@@ -1,0 +1,112 @@
+package temporal
+
+import (
+	"fmt"
+
+	"timr/internal/obs"
+)
+
+// Operator instrumentation. CompileObserved wraps every physical operator
+// with two thin meter sinks — one on each entry, one on the output — that
+// feed per-operator metrics into an obs.Scope:
+//
+//	events_in    events delivered to the operator (both sides for binaries)
+//	events_out   events the operator emitted
+//	ctis         punctuations the operator propagated downstream
+//	state        high watermark of live state (synopsis entries, open
+//	             aggregate lifetimes, reorder/merge buffers, group count)
+//	wm_lag       worst observed punctuation lag: max over CTIs of
+//	             (max input LE seen) − (CTI time)
+//
+// Metric handles are resolved once at compile time; per-event cost is one
+// atomic add per meter. Handles are shared across engine instances that
+// compile the same plan into the same scope (TiMR runs one engine per
+// partition), so per-operator metrics aggregate across partitions, while
+// the per-instance fields (maxLE) stay engine-local and single-threaded.
+
+// stateSizer is implemented by stateful operators that can report their
+// current live state size (number of retained events/entries/groups).
+type stateSizer interface{ liveState() int }
+
+// opMetrics is the per-compiled-operator metric bundle.
+type opMetrics struct {
+	eventsIn  *obs.Counter
+	eventsOut *obs.Counter
+	ctis      *obs.Counter
+	state     *obs.Gauge
+	wmLag     *obs.Gauge
+	sizer     stateSizer // nil for stateless operators
+	maxLE     Time       // engine-local input high watermark
+}
+
+func newOpMetrics(sc *obs.Scope) *opMetrics {
+	return &opMetrics{
+		eventsIn:  sc.Counter("events_in"),
+		eventsOut: sc.Counter("events_out"),
+		ctis:      sc.Counter("ctis"),
+		state:     sc.Gauge("state"),
+		wmLag:     sc.Gauge("wm_lag"),
+		maxLE:     MinTime,
+	}
+}
+
+func (m *opMetrics) pollState() {
+	if m.sizer != nil {
+		m.state.SetMax(int64(m.sizer.liveState()))
+	}
+}
+
+// meterIn sits on an operator entry: counts arrivals, tracks the input
+// high watermark against punctuations, and polls live state after the
+// operator has absorbed each delivery.
+type meterIn struct {
+	m   *opMetrics
+	out Sink
+}
+
+func (s *meterIn) OnEvent(e Event) {
+	s.m.eventsIn.Inc()
+	if e.LE > s.m.maxLE {
+		s.m.maxLE = e.LE
+	}
+	s.out.OnEvent(e)
+	s.m.pollState()
+}
+
+func (s *meterIn) OnCTI(t Time) {
+	if s.m.maxLE != MinTime && s.m.maxLE > t {
+		s.m.wmLag.SetMax(int64(s.m.maxLE - t))
+	}
+	s.out.OnCTI(t)
+	s.m.pollState()
+}
+
+func (s *meterIn) OnFlush() { s.out.OnFlush() }
+
+// meterOut sits on an operator (or pipeline source) output: counts events
+// and propagated punctuations.
+type meterOut struct {
+	events *obs.Counter
+	ctis   *obs.Counter
+	out    Sink
+}
+
+func (s *meterOut) OnEvent(e Event) {
+	s.events.Inc()
+	s.out.OnEvent(e)
+}
+
+func (s *meterOut) OnCTI(t Time) {
+	s.ctis.Inc()
+	s.out.OnCTI(t)
+}
+
+func (s *meterOut) OnFlush() { s.out.OnFlush() }
+
+// opName returns the deterministic scope name for a plan node:
+// "opNN.Kind", with NN assigned by pre-order DFS from the root (root is
+// op00). Determinism matters: snapshots from different runs of the same
+// plan must line up row for row.
+func (c *compiler) opName(n *Plan) string {
+	return fmt.Sprintf("op%02d.%s", c.ids[n], n.Kind.String())
+}

@@ -77,7 +77,8 @@ type alterLifetimeOp struct {
 	shift       Time
 	out         Sink
 	// continuation-suppression state for LifePoint
-	pending map[uint64][]pointPending
+	pending  map[uint64][]pointPending
+	npending int // live entries across pending buckets
 }
 
 type pointPending struct {
@@ -137,6 +138,7 @@ func (a *alterLifetimeOp) isContinuation(e *Event) bool {
 	if !found {
 		kept = append(kept, pointPending{re: e.RE, payload: e.Payload})
 	}
+	a.npending += len(kept) - len(bucket)
 	if len(kept) == 0 {
 		delete(a.pending, h)
 	} else {
@@ -144,6 +146,8 @@ func (a *alterLifetimeOp) isContinuation(e *Event) bool {
 	}
 	return found
 }
+
+func (a *alterLifetimeOp) liveState() int { return a.npending }
 
 func (a *alterLifetimeOp) OnCTI(t Time) {
 	if a.mode == LifeShift && a.shift < 0 {
@@ -176,7 +180,7 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return compareRows(h[i].Payload, h[j].Payload) < 0
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
 func (h *eventHeap) Pop() interface{} {
 	old := *h
@@ -222,6 +226,8 @@ func (r *reorderOp) OnFlush() {
 	r.release(MaxTime)
 	r.out.OnFlush()
 }
+
+func (r *reorderOp) liveState() int { return len(r.buf) }
 
 func (r *reorderOp) release(upto Time) {
 	for len(r.buf) > 0 && r.buf[0].LE <= upto {

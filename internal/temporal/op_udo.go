@@ -21,6 +21,8 @@ func newHoppingUDOOp(spec *UDOSpec, out Sink) *hoppingUDOOp {
 	return &hoppingUDOOp{w: spec.Window, h: spec.Hop, fn: spec.Fn, out: out}
 }
 
+func (u *hoppingUDOOp) liveState() int { return len(u.buf) }
+
 func (u *hoppingUDOOp) OnEvent(e Event) {
 	// Windows ending at or before e.LE are complete: any future event has
 	// LE >= e.LE and so cannot fall in [t-w, t) for t <= e.LE.

@@ -10,8 +10,8 @@ type OpKind int
 
 // Logical operator kinds.
 const (
-	OpScan OpKind = iota // leaf: named input stream
-	OpGroupInput         // leaf inside a GroupApply sub-plan: the group's sub-stream
+	OpScan       OpKind = iota // leaf: named input stream
+	OpGroupInput               // leaf inside a GroupApply sub-plan: the group's sub-stream
 	OpSelect
 	OpProject
 	OpAlterLifetime
@@ -78,11 +78,11 @@ func (k AggKind) String() string {
 // payload rows with LE inside the window, ordered by LE, and returns
 // output rows valid for [end, end+Hop).
 type UDOSpec struct {
-	Name    string
-	Window  Time
-	Hop     Time
-	Out     *Schema
-	Fn      func(winStart, winEnd Time, rows []Row) []Row
+	Name     string
+	Window   Time
+	Hop      Time
+	Out      *Schema
+	Fn       func(winStart, winEnd Time, rows []Row) []Row
 	Stateful bool // documentation only: whether Fn keeps state across windows
 }
 
@@ -122,9 +122,9 @@ type Plan struct {
 	Projs []Projection
 
 	// OpAlterLifetime
-	Mode          LifetimeMode
-	Window, Hop   Time
-	Shift         Time
+	Mode        LifetimeMode
+	Window, Hop Time
+	Shift       Time
 
 	// OpAggregate
 	Agg     AggKind

@@ -72,10 +72,10 @@ func (c ColRef) String() string {
 
 // ProjExpr is one SELECT list item.
 type ProjExpr struct {
-	Col   ColRef // when Agg == ""
-	Agg   string // COUNT, SUM, MIN, MAX, AVG; "" for plain columns
+	Col    ColRef // when Agg == ""
+	Agg    string // COUNT, SUM, MIN, MAX, AVG; "" for plain columns
 	AggCol ColRef // argument of the aggregate ("" Name for COUNT(*))
-	Alias string
+	Alias  string
 }
 
 // Expr is a boolean predicate tree.

@@ -120,13 +120,13 @@ func TestCompileErrors(t *testing.T) {
 	bad := []string{
 		"SELECT * FROM nosuch",
 		"SELECT nope FROM clicks",
-		"SELECT COUNT(*) AS a, SUM(AdId) AS b FROM clicks",         // two aggregates
-		"SELECT AdId FROM clicks GROUP BY AdId",                    // group without aggregate
-		"SELECT AdId FROM clicks HAVING AdId > 1",                  // having without aggregate
-		"SELECT UserId FROM clicks WHERE UserId = 'str'",           // type mismatch
-		"SELECT x.UserId FROM clicks",                              // unknown alias
-		"SELECT * FROM clicks UNION SELECT * FROM readings",        // union schema mismatch
-		"SELECT * FROM clicks PARTITION BY Nope",                   // bad partition col
+		"SELECT COUNT(*) AS a, SUM(AdId) AS b FROM clicks",  // two aggregates
+		"SELECT AdId FROM clicks GROUP BY AdId",             // group without aggregate
+		"SELECT AdId FROM clicks HAVING AdId > 1",           // having without aggregate
+		"SELECT UserId FROM clicks WHERE UserId = 'str'",    // type mismatch
+		"SELECT x.UserId FROM clicks",                       // unknown alias
+		"SELECT * FROM clicks UNION SELECT * FROM readings", // union schema mismatch
+		"SELECT * FROM clicks PARTITION BY Nope",            // bad partition col
 		"SELECT l.AdId FROM clicks AS l JOIN readings AS r ON l.AdId = r.Nope",
 	}
 	for _, q := range bad {
@@ -399,11 +399,11 @@ func TestPlanStringRendering(t *testing.T) {
 
 func TestMoreCompileErrors(t *testing.T) {
 	bad := []string{
-		"SELECT AdId FROM clicks WHERE ABS(UserId) = 'x'",            // ABS vs string literal
+		"SELECT AdId FROM clicks WHERE ABS(UserId) = 'x'",                     // ABS vs string literal
 		"SELECT Z FROM scores WHERE ABS(AdId) > 1 UNION SELECT Z FROM scores", // fine ABS int... make bad below
-		"SELECT MIN(Nope) AS M FROM clicks",                          // unknown agg column
-		"SELECT l.Nope FROM clicks AS l",                             // unknown column via alias
-		"SELECT UserId FROM (SELECT UserId FROM nosuch) AS s",        // error inside subquery
+		"SELECT MIN(Nope) AS M FROM clicks",                                   // unknown agg column
+		"SELECT l.Nope FROM clicks AS l",                                      // unknown column via alias
+		"SELECT UserId FROM (SELECT UserId FROM nosuch) AS s",                 // error inside subquery
 	}
 	for _, q := range bad[2:] {
 		if _, err := Compile(q, catalog()); err == nil {

@@ -57,23 +57,23 @@ const AdIDBase int64 = 1 << 40
 
 // Config parameterizes generation. Zero fields take defaults.
 type Config struct {
-	Users      int
-	Keywords   int
-	AdClasses  int
-	Days       int
-	Seed       int64
+	Users     int
+	Keywords  int
+	AdClasses int
+	Days      int
+	Seed      int64
 
-	SearchesPerUserDay    float64
-	ImpressionsPerUserDay float64
-	BaseCTR               float64
-	PosLift               float64 // click-probability multiplier per positive keyword
-	NegDamp               float64 // multiplier per negative keyword (<1)
-	PosKeywordsPerAd      int
-	NegKeywordsPerAd      int
+	SearchesPerUserDay      float64
+	ImpressionsPerUserDay   float64
+	BaseCTR                 float64
+	PosLift                 float64 // click-probability multiplier per positive keyword
+	NegDamp                 float64 // multiplier per negative keyword (<1)
+	PosKeywordsPerAd        int
+	NegKeywordsPerAd        int
 	InterestKeywordsPerUser int
-	BotFraction           float64
-	BotRateMultiplier     float64
-	Tau                   temporal.Time // profile window for planted correlations
+	BotFraction             float64
+	BotRateMultiplier       float64
+	Tau                     temporal.Time // profile window for planted correlations
 }
 
 // DefaultConfig is a laptop-scale stand-in for the paper's week of logs.

@@ -51,11 +51,27 @@ import (
 	"timr/internal/core"
 	"timr/internal/mapreduce"
 	"timr/internal/ml"
+	"timr/internal/obs"
 	"timr/internal/stats"
 	"timr/internal/temporal"
 	"timr/internal/tsql"
 	"timr/internal/workload"
 )
+
+// ---- Observability ----
+
+// Metric types (see internal/obs). A MetricScope attached to
+// ClusterConfig.Obs or TiMRConfig.Obs collects per-stage and per-operator
+// counters while a job runs; Snapshot/Table read them back.
+type (
+	// MetricScope is a named tree of counters, gauges and histograms.
+	MetricScope = obs.Scope
+	// MetricPoint is one entry of a MetricScope snapshot.
+	MetricPoint = obs.Point
+)
+
+// NewMetricScope creates a metric scope root.
+var NewMetricScope = obs.New
 
 // ---- StreamSQL surface ----
 
@@ -142,6 +158,7 @@ var (
 	Coalesce          = temporal.Coalesce
 	NewEngine         = temporal.NewEngine
 	NewEngineTo       = temporal.NewEngineTo
+	NewEngineObserved = temporal.NewEngineObserved
 	RunPlan           = temporal.RunPlan
 	RowsToPointEvents = temporal.RowsToPointEvents
 	ColEqInt          = temporal.ColEqInt
