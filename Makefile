@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench
+.PHONY: build test race vet fmt check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,15 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# The full pre-merge gate.
+# The full pre-merge gate. Perf changes should additionally refresh the
+# tracked benchmark snapshot via `make bench-json` (not part of check:
+# benchmark timings are host-dependent and would make the gate flaky).
 check: vet fmt race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Headline benchmarks (shuffle, Fig. 15/16) as machine-readable JSON —
+# the perf trajectory file compared across PRs.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr2.json

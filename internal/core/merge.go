@@ -1,0 +1,109 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"timr/internal/temporal"
+)
+
+// runRange marks one run inside the reducer's feed: the half-open index
+// interval [start, end) of consecutive feed entries that arrived as one
+// shuffle run (a contiguous chunk of one upstream partition, in its
+// original order).
+type runRange struct{ start, end int }
+
+// mergeRunOrder returns the feed order that a stable sort by LE would
+// produce, computed as a k-way merge of the runs instead of a global
+// re-sort. Runs must be disjoint, in ascending index order, and cover
+// [0, len(les)) — which the reducer guarantees by construction.
+//
+// Equivalence to sort.SliceStable on LE: a stable sort orders equal-LE
+// entries by original index. Runs are contiguous ascending index blocks,
+// so "by original index" is exactly "by (run ordinal, position in run)" —
+// the merge's tie-break. A run that is not itself LE-sorted (an upstream
+// partition without time order) is stable-sorted in place first, which
+// restores the same (LE, index) order within the run; onFallback is
+// called once per such run so the slow path is observable.
+func mergeRunOrder(les []temporal.Time, runs []runRange, onFallback func()) []int32 {
+	order := make([]int32, len(les))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	live := make([]runRange, 0, len(runs))
+	for _, r := range runs {
+		if r.end > r.start {
+			live = append(live, r)
+		}
+	}
+	for _, r := range live {
+		if !sortedRange(les, r) {
+			if onFallback != nil {
+				onFallback()
+			}
+			w := order[r.start:r.end]
+			sort.SliceStable(w, func(i, j int) bool { return les[w[i]] < les[w[j]] })
+		}
+	}
+	if len(live) <= 1 {
+		// Zero or one run: order is already sorted in place.
+		return order
+	}
+	h := &mergeHeap{les: les, order: order}
+	h.items = make([]mergeItem, 0, len(live))
+	for ord, r := range live {
+		h.items = append(h.items, mergeItem{pos: r.start, end: r.end, ord: ord})
+	}
+	heap.Init(h)
+	out := make([]int32, 0, len(les))
+	for h.Len() > 0 {
+		it := h.items[0]
+		out = append(out, order[it.pos])
+		it.pos++
+		if it.pos < it.end {
+			h.items[0] = it
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}
+
+// sortedRange reports whether les is nondecreasing over [r.start, r.end).
+func sortedRange(les []temporal.Time, r runRange) bool {
+	for i := r.start + 1; i < r.end; i++ {
+		if les[i] < les[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeItem is one run's cursor in the merge heap.
+type mergeItem struct{ pos, end, ord int }
+
+type mergeHeap struct {
+	les   []temporal.Time
+	order []int32
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	la, lb := h.les[h.order[a.pos]], h.les[h.order[b.pos]]
+	if la != lb {
+		return la < lb
+	}
+	return a.ord < b.ord
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"timr/internal/temporal"
+)
+
+// stableOrder is the reference the merge must reproduce exactly: a stable
+// sort of feed indexes by LE.
+func stableOrder(les []temporal.Time) []int32 {
+	order := make([]int32, len(les))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return les[order[i]] < les[order[j]] })
+	return order
+}
+
+func TestMergeRunOrderMatchesStableSort(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(200)
+		les := make([]temporal.Time, n)
+		// Small LE domain forces plenty of ties, which is where stability
+		// bugs would show.
+		for i := range les {
+			les[i] = temporal.Time(r.Intn(20))
+		}
+		// Random partition into runs; sort most of them (the shuffle
+		// normally delivers sorted runs) but leave some unsorted to
+		// exercise the fallback path.
+		var runs []runRange
+		fallbacks := 0
+		for start := 0; start < n; {
+			end := start + 1 + r.Intn(40)
+			if end > n {
+				end = n
+			}
+			if r.Intn(4) > 0 {
+				seg := les[start:end]
+				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			}
+			runs = append(runs, runRange{start, end})
+			start = end
+		}
+		got := mergeRunOrder(les, runs, func() { fallbacks++ })
+		want := stableOrder(les)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge order != stable sort\nles: %v\nruns: %v\ngot:  %v\nwant: %v",
+				trial, les, runs, got, want)
+		}
+	}
+}
+
+func TestMergeRunOrderSingleRunFastPath(t *testing.T) {
+	les := []temporal.Time{1, 2, 2, 3, 7}
+	got := mergeRunOrder(les, []runRange{{0, 5}}, func() { t.Error("sorted run must not fall back") })
+	if !reflect.DeepEqual(got, []int32{0, 1, 2, 3, 4}) {
+		t.Fatalf("single sorted run order = %v", got)
+	}
+}
+
+func TestMergeRunOrderUnsortedRunFallsBack(t *testing.T) {
+	les := []temporal.Time{5, 1, 3}
+	fallbacks := 0
+	got := mergeRunOrder(les, []runRange{{0, 3}}, func() { fallbacks++ })
+	if !reflect.DeepEqual(got, []int32{1, 2, 0}) {
+		t.Fatalf("order = %v", got)
+	}
+	if fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", fallbacks)
+	}
+}
+
+func TestMergeRunOrderEmpty(t *testing.T) {
+	if got := mergeRunOrder(nil, nil, nil); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}
+
+// benchRuns builds n LEs arranged as k individually-sorted runs — the
+// shape the shuffle delivers to a reducer.
+func benchRuns(n, k int) ([]temporal.Time, []runRange) {
+	r := rand.New(rand.NewSource(41))
+	les := make([]temporal.Time, 0, n)
+	var runs []runRange
+	per := n / k
+	for i := 0; i < k; i++ {
+		start := len(les)
+		t := temporal.Time(r.Intn(1000))
+		for j := 0; j < per; j++ {
+			t += temporal.Time(r.Intn(5))
+			les = append(les, t)
+		}
+		runs = append(runs, runRange{start, len(les)})
+	}
+	return les, runs
+}
+
+func BenchmarkMergeRuns_1M(b *testing.B) {
+	les, runs := benchRuns(1<<20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mergeRunOrder(les, runs, nil)
+	}
+	b.ReportMetric(float64(len(les))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkMergeStableSortReference_1M(b *testing.B) {
+	les, _ := benchRuns(1<<20, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stableOrder(les)
+	}
+	b.ReportMetric(float64(len(les))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func TestSpansForIntervalCoversLifetime(t *testing.T) {
+	s := &SpanSpec{Origin: 0, Width: 100, Overlap: 50, N: 20}
+	// A point event routes exactly as SpansFor always did.
+	if got, want := s.SpansForInterval(120, 121), s.SpansFor(120); !reflect.DeepEqual(got, want) {
+		t.Fatalf("point interval = %v, SpansFor = %v", got, want)
+	}
+	// A wide event reaches every span intersecting [LE, RE+overlap).
+	got := s.SpansForInterval(120, 450) // [120, 500) with overlap
+	want := []int{1, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wide interval spans = %v, want %v", got, want)
+	}
+	// Degenerate lifetimes (RE <= LE) route like points.
+	if got, want := s.SpansForInterval(120, 100), s.SpansFor(120); !reflect.DeepEqual(got, want) {
+		t.Fatalf("degenerate interval = %v, want %v", got, want)
+	}
+	// Clamping at both ends.
+	if got := s.SpansForInterval(-500, -400); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("below-origin spans = %v", got)
+	}
+	if got := s.SpansForInterval(5000, 5100); !reflect.DeepEqual(got, []int{19}) {
+		t.Fatalf("beyond-range spans = %v", got)
+	}
+}

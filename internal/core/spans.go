@@ -41,13 +41,30 @@ func (s *SpanSpec) Owned(i int) (start, end temporal.Time) {
 	return start, end
 }
 
-// SpansFor returns the spans that must receive an event at time t: its
-// owning span plus any later spans whose overlap region covers t.
+// SpansFor returns the spans that must receive a point event at time t:
+// its owning span plus any later spans whose overlap region covers t.
 func (s *SpanSpec) SpansFor(t temporal.Time) []int {
-	first := int((t - s.Origin) / s.Width)
-	last := int((t - s.Origin + s.Overlap) / s.Width)
+	return s.SpansForInterval(t, t+1)
+}
+
+// SpansForInterval returns the spans that must receive an event with
+// lifetime [le, re): every span whose input region [start−w, end)
+// intersects the lifetime — equivalently, every span whose owned range
+// intersects [le, re+w). Routing by LE alone would starve later spans
+// that the event's lifetime reaches into: a window opened by the event
+// contributes to snapshots up to re+w, and the span owning those
+// snapshots must see the event (§III-B).
+func (s *SpanSpec) SpansForInterval(le, re temporal.Time) []int {
+	if re < le+1 {
+		re = le + 1 // degenerate lifetimes route like point events
+	}
+	first := int((le - s.Origin) / s.Width)
+	last := int((re - 1 + s.Overlap - s.Origin) / s.Width)
 	if first < 0 {
 		first = 0
+	}
+	if first >= s.N {
+		first = s.N - 1
 	}
 	if last >= s.N {
 		last = s.N - 1

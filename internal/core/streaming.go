@@ -167,12 +167,20 @@ type streamStage struct {
 	hasSpan bool
 
 	// Observability (nil-safe handles; see Config.Obs).
-	scope    *obs.Scope   // per-operator engine metrics for this stage
-	depth    *obs.Gauge   // barrier buffer depth high-watermark
-	released *obs.Counter // events released through the barrier
-	clipped  *obs.Counter // output events dropped entirely at span edges
-	trimmed  *obs.Counter // output events shortened to their owned span
+	scope     *obs.Scope   // per-operator engine metrics for this stage
+	depth     *obs.Gauge   // barrier buffer depth high-watermark
+	released  *obs.Counter // events released through the barrier
+	clipped   *obs.Counter // output events dropped entirely at span edges
+	trimmed   *obs.Counter // output events shortened to their owned span
+	truncated *obs.Counter // events whose span fan-out hit maxSpanFanout
 }
+
+// maxSpanFanout bounds how many lazy span partitions one event may be
+// replicated into (overlap regions of adjacent spans plus the reach of
+// its own lifetime). 4096 spans at the default 4h width covers a lifetime
+// of nearly two years — beyond any sane window — while keeping a single
+// corrupt timestamp from materializing millions of engines.
+const maxSpanFanout = 4096
 
 type streamPartition struct {
 	eng *temporal.Engine
@@ -192,6 +200,7 @@ func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
 		released:     sc.Counter("barrier_releases"),
 		clipped:      sc.Counter("events_clipped"),
 		trimmed:      sc.Counter("events_trimmed"),
+		truncated:    sc.Counter("route_truncated"),
 	}
 	switch {
 	case frag.Part.Temporal:
@@ -258,8 +267,22 @@ func (st *streamStage) route(src int, ev temporal.Event) {
 
 	switch {
 	case st.spans != nil:
+		// Route by the full lifetime [LE, RE), not LE alone: a window the
+		// event opens contributes to snapshots up to RE+overlap, so every
+		// span up to there must see it (mirrors SpansForInterval in batch).
+		re := ev.RE
+		if re < ev.LE+1 {
+			re = ev.LE + 1
+		}
 		first := int(floorDivT(ev.LE, st.spans.Width))
-		last := int(floorDivT(ev.LE+st.spans.Overlap, st.spans.Width))
+		last := int(floorDivT(re-1+st.spans.Overlap, st.spans.Width))
+		// Spans are lazy (N is effectively unbounded), so a pathological
+		// lifetime could fan one event out to millions of partitions; cap
+		// the fan-out and count what was cut so it is observable.
+		if last-first+1 > maxSpanFanout {
+			last = first + maxSpanFanout - 1
+			st.truncated.Inc()
+		}
 		for i := first; i <= last; i++ {
 			st.partition(i).buf.push(tagged)
 		}

@@ -69,6 +69,35 @@ func TestStreamingMatchesSingleNodeGrouped(t *testing.T) {
 	}
 }
 
+func TestStreamingRoutesWideIntervals(t *testing.T) {
+	// Regression for LE-only span routing in streamStage.route: interval
+	// events from a source must fan out to every span their lifetime
+	// reaches (by RE, not just LE), or temporal partitions beyond the
+	// event's first span undercount. Mirrors the batch test
+	// TestChainedTemporalJobsRouteWideIntervals.
+	r := rand.New(rand.NewSource(29))
+	rows := clickRows(r, 1200, 20, 5)
+	events := temporal.RowsToPointEvents(rows, 0)
+	for i := range events {
+		events[i].RE = events[i].LE + 250
+	}
+	plan := temporal.Scan("evs", clickSchema()).
+		Exchange(temporal.PartitionBy{Temporal: true, SpanWidth: 100}).
+		Count("C")
+	got := runStreaming(t, plan,
+		map[string]*temporal.Schema{"evs": clickSchema()},
+		map[string][]temporal.Event{"evs": events}, 4, 50)
+	want, err := temporal.RunPlan(
+		temporal.Scan("evs", clickSchema()).Count("C"),
+		map[string][]temporal.Event{"evs": events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("streaming interval routing diverges: %d vs %d events", len(got), len(want))
+	}
+}
+
 func TestStreamingTwoStagePipeline(t *testing.T) {
 	r := rand.New(rand.NewSource(23))
 	rows := clickRows(r, 800, 15, 4)

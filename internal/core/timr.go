@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"timr/internal/mapreduce"
 	"timr/internal/obs"
@@ -185,7 +184,7 @@ func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
 		st.Partition = mapreduce.PartitionByCols(cols)
 	}
 
-	st.Reduce = t.reducer(frag, nil)
+	st.ReduceRuns = t.reducer(frag, nil)
 	return st, nil
 }
 
@@ -207,9 +206,12 @@ func partitionCols(in FragmentInput, cols []string) []int {
 	return idx
 }
 
-// reducer builds the method P for a fragment. If clip is non-nil, output
-// events are clipped to the owned interval (temporal partitioning).
-func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
+// reducer builds the method P for a fragment. If spans is non-nil, output
+// events are clipped to the owned interval (temporal partitioning). The
+// returned function has the run-aware signature (mapreduce.Stage.ReduceRuns):
+// the shuffle's run boundaries let P replace its global pre-sort with a
+// k-way merge of already-sorted runs.
+func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.Row, [][]int, func(mapreduce.Row)) error {
 	// Capture per-input conversion metadata once.
 	type inMeta struct {
 		scan         string
@@ -230,8 +232,10 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
 	// retried attempts): obs handles are atomics, so parallel reducers on
 	// the worker pool aggregate into the same per-operator counters.
 	scope := cfg.Obs.Child("frag." + frag.Name)
+	mergeRuns := scope.Counter("merge_runs")
+	mergeFallbacks := scope.Counter("merge_fallback_sorts")
 
-	return func(part int, in [][]mapreduce.Row, emit func(mapreduce.Row)) error {
+	return func(part int, in [][]mapreduce.Row, runs [][]int, emit func(mapreduce.Row)) error {
 		// The DSMS pushes results asynchronously while M-R pulls rows
 		// synchronously from the reducer; TiMR bridges the two with a
 		// blocking queue (§III-C.2).
@@ -252,8 +256,11 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
 			total += len(rows)
 		}
 		feed := make([]temporal.SourceEvent, 0, total)
+		les := make([]temporal.Time, 0, total)
+		var runRanges []runRange
 		for src, rows := range in {
 			m := metas[src]
+			base := len(feed)
 			for _, r := range rows {
 				var ev temporal.Event
 				if m.intermediate {
@@ -262,21 +269,40 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) mapreduce.Reducer {
 					ev = temporal.PointEvent(r[m.timeCol].AsInt(), r)
 				}
 				feed = append(feed, temporal.SourceEvent{Source: m.scan, Event: ev})
+				les = append(les, ev.LE)
+			}
+			// Translate this source's shuffle run lengths into feed index
+			// ranges. A missing or inconsistent run structure degrades to
+			// one run for the whole segment — the merge then behaves like
+			// the old global sort.
+			sum := 0
+			if src < len(runs) {
+				for _, l := range runs[src] {
+					sum += l
+				}
+			}
+			if src < len(runs) && sum == len(rows) && len(runs[src]) > 0 {
+				off := base
+				for _, l := range runs[src] {
+					if l > 0 {
+						runRanges = append(runRanges, runRange{off, off + l})
+					}
+					off += l
+				}
+			} else if len(rows) > 0 {
+				runRanges = append(runRanges, runRange{base, base + len(rows)})
 			}
 		}
 		// The engine requires nondecreasing LE; M-R partitions are not
-		// time-sorted, so P sorts first (the strawman's "pre-sorting of
-		// data", §II-C — here it is part of the framework, written once).
-		// Sorting an index vector avoids shuffling the wide SourceEvent
-		// structs — partitions are concatenations of sorted runs, and the
-		// stable sort keeps equal-timestamp order deterministic.
-		order := make([]int32, len(feed))
-		for i := range order {
-			order[i] = int32(i)
-		}
-		sort.SliceStable(order, func(i, j int) bool {
-			return feed[order[i]].Event.LE < feed[order[j]].Event.LE
-		})
+		// time-sorted globally, so P establishes time order first (the
+		// strawman's "pre-sorting of data", §II-C — here it is part of the
+		// framework, written once). The shuffle delivers each partition as
+		// a concatenation of runs that are individually time-sorted
+		// whenever their upstream partition was, so instead of a global
+		// O(n log n) re-sort, P k-way merges the runs — reproducing the
+		// stable LE-sort order exactly (see mergeRunOrder).
+		mergeRuns.Add(int64(len(runRanges)))
+		order := mergeRunOrder(les, runRanges, func() { mergeFallbacks.Add(1) })
 
 		done := make(chan error, 1)
 		go func() {
@@ -380,17 +406,25 @@ func (t *TiMR) temporalStage(st *mapreduce.Stage, frag *Fragment) error {
 	spans := NewSpanSpec(lo, hi, width, overlap)
 	st.NumPartitions = spans.N
 	timeCols := make([]int, len(frag.Inputs))
+	intermediate := make([]bool, len(frag.Inputs))
 	for i, in := range frag.Inputs {
 		if in.Intermediate {
 			timeCols[i] = 0
+			intermediate[i] = true
 		} else {
 			timeCols[i] = in.Schema.MustIndex(TimeColumn)
 		}
 	}
 	st.MultiPartition = func(r mapreduce.Row, src, nparts int) []int {
+		if intermediate[src] {
+			// Interval events route by their full lifetime: every span
+			// whose input region the lifetime reaches must see the event,
+			// or chained temporal jobs drop contributions in later spans.
+			return spans.SpansForInterval(r[0].AsInt(), r[1].AsInt())
+		}
 		return spans.SpansFor(r[timeCols[src]].AsInt())
 	}
-	st.Reduce = t.reducer(frag, spans)
+	st.ReduceRuns = t.reducer(frag, spans)
 	return nil
 }
 

@@ -218,6 +218,44 @@ func TestTiMRTemporalPartitioning(t *testing.T) {
 	}
 }
 
+func TestChainedTemporalJobsRouteWideIntervals(t *testing.T) {
+	// Regression for LE-only span routing: job 1 emits 300-wide interval
+	// events; job 2 counts them under temporal partitioning with 100-wide
+	// spans and no window of its own (overlap 0). An event's lifetime
+	// crosses several spans, and every one of them owns snapshots the
+	// event contributes to — routing by LE alone starves the later spans
+	// and silently undercounts.
+	r := rand.New(rand.NewSource(17))
+	rows := clickRows(r, 1500, 20, 5)
+
+	tm := newTestTiMR(8)
+	tm.Cluster.FS.Write("ds.clicks", mapreduce.SinglePartition(clickSchema(), rows))
+	widen := temporal.Scan("clicks", clickSchema()).WithWindow(300)
+	if _, err := tm.Run(widen, map[string]string{"clicks": "ds.clicks"}, "mid"); err != nil {
+		t.Fatal(err)
+	}
+	count := temporal.Scan("mid", clickSchema()).
+		Exchange(temporal.PartitionBy{Temporal: true, SpanWidth: 100}).
+		Count("C")
+	stat, err := tm.Run(count, map[string]string{"mid": "mid"}, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.Stages[0].Partitions < 2 {
+		t.Fatalf("expected multiple spans, got %d", stat.Stages[0].Partitions)
+	}
+	got, err := tm.ResultEvents("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := singleNode(t,
+		temporal.Scan("clicks", clickSchema()).WithWindow(300).Count("C"),
+		"clicks", rows, 0)
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("chained temporal jobs diverge: %d vs %d events", len(got), len(want))
+	}
+}
+
 func TestTiMRNonPartitionableFallsBackToSingleTask(t *testing.T) {
 	rows := clickRows(rand.New(rand.NewSource(3)), 100, 5, 3)
 	plan := temporal.Scan("clicks", clickSchema()).WithWindow(10).Count("C")

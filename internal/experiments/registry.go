@@ -51,6 +51,7 @@ var registry = []Experiment{
 	{"memtime", "§V-D: UBP memory footprint and LR learning time per scheme", MemTime},
 	{"botstats", "§IV-B.1: bot population, activity share and signal dilution", BotStats},
 	{"failures", "§III-C.1: repeatability and cost under reducer failures", FailureRecovery},
+	{"shuffle", "parallel map/shuffle path vs serial reference: speedup and determinism", Shuffle},
 }
 
 // All returns every experiment in presentation order.

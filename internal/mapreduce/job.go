@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"timr/internal/obs"
@@ -38,6 +39,14 @@ type Stage struct {
 	// in a span-overlap region belong to both adjacent spans (§III-B).
 	MultiPartition func(r Row, src int, nparts int) []int
 	Reduce         Reducer
+	// ReduceRuns, when set, supersedes Reduce and additionally receives
+	// the shuffle's run structure: runs[src] lists the lengths of the
+	// consecutive row runs that make up in[src]. Each run is a contiguous
+	// chunk of one input partition in its original order, so it is
+	// time-sorted whenever that input partition was — which lets
+	// order-sensitive reducers merge runs instead of re-sorting the whole
+	// partition (TiMR's reducer P exploits this).
+	ReduceRuns func(part int, in [][]Row, runs [][]int, emit func(Row)) error
 }
 
 // Config describes the simulated cluster.
@@ -50,6 +59,11 @@ type Config struct {
 	// the network (write + transfer + read), charged to the makespan
 	// accounting; it does not slow real execution.
 	ShufflePerRow time.Duration
+	// MapWorkers caps the map-phase worker pool. Zero (the default) uses
+	// min(Machines, GOMAXPROCS); 1 forces the serial reference path that
+	// the shuffle benchmark and determinism tests compare against. The
+	// shuffled row order is identical for every setting.
+	MapWorkers int
 }
 
 // DefaultConfig is a 150-machine failure-free cluster, mirroring the
@@ -86,14 +100,29 @@ type StageStat struct {
 	OutputRows   int
 	Partitions   int
 	Failures     int
-	Tasks        []TaskStat
-	WallTime     time.Duration // real elapsed time of the stage
+	// Maps records one entry per map task (a contiguous chunk of one
+	// input partition, see mapChunkRows): rows scanned and the real time
+	// spent partitioning them. Map tasks never fail in the simulator
+	// (partitioning is deterministic and side-effect free), so Attempts
+	// is always 1 and RetryTime zero.
+	Maps     []TaskStat
+	Tasks    []TaskStat
+	WallTime time.Duration // real elapsed time of the stage
 }
 
 // TotalTaskTime sums successful reducer durations (the "work").
 func (s *StageStat) TotalTaskTime() time.Duration {
 	var d time.Duration
 	for _, t := range s.Tasks {
+		d += t.Duration
+	}
+	return d
+}
+
+// TotalMapTime sums map task durations (the partitioning work).
+func (s *StageStat) TotalMapTime() time.Duration {
+	var d time.Duration
+	for _, t := range s.Maps {
 		d += t.Duration
 	}
 	return d
@@ -138,17 +167,29 @@ func (s *StageStat) RowSkew() float64 {
 	return float64(s.MaxTaskRows()) / mean
 }
 
-// Makespan computes the simulated completion time of the stage's reducer
-// tasks on m machines via LPT list scheduling, plus the modeled shuffle
-// cost (which is perfectly parallel across machines).
+// Makespan computes the simulated completion time of the stage on m
+// machines: the map phase (partitioning chunks, LPT list scheduling),
+// then the modeled shuffle cost (perfectly parallel across machines),
+// then the reduce phase (LPT again). The phases are sequential barriers,
+// as in the basic M-R model.
 func (s *StageStat) Makespan(m int, shufflePerRow time.Duration) time.Duration {
 	if m <= 0 {
 		m = 1
 	}
-	durs := make([]time.Duration, len(s.Tasks))
-	for i, t := range s.Tasks {
-		// A task occupies its machine for the failed attempts too; M-R
-		// restarts a failed reducer from scratch on the same input.
+	shuffle := time.Duration(s.ShuffleRows) * shufflePerRow / time.Duration(m)
+	return lptMakespan(s.Maps, m) + shuffle + lptMakespan(s.Tasks, m)
+}
+
+// lptMakespan schedules tasks onto m machines by longest-processing-time
+// list scheduling and returns the finishing time of the last machine. A
+// task occupies its machine for the failed attempts too; M-R restarts a
+// failed reducer from scratch on the same input.
+func lptMakespan(tasks []TaskStat, m int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	durs := make([]time.Duration, len(tasks))
+	for i, t := range tasks {
 		durs[i] = t.Duration + t.RetryTime
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] > durs[j] })
@@ -169,8 +210,7 @@ func (s *StageStat) Makespan(m int, shufflePerRow time.Duration) time.Duration {
 			max = l
 		}
 	}
-	shuffle := time.Duration(s.ShuffleRows) * shufflePerRow / time.Duration(m)
-	return max + shuffle
+	return max
 }
 
 // JobStat aggregates a whole job.
@@ -237,6 +277,40 @@ func (c *Cluster) injectedFailure(stage string, part, attempt int) bool {
 	return r.Float64() < c.Cfg.FailureRate
 }
 
+// mapChunkRows is the map-task granule: each map task partitions one
+// contiguous chunk of at most this many rows from one input partition.
+// Small enough to load-balance skewed inputs across workers, large enough
+// that per-task bookkeeping is noise.
+const mapChunkRows = 64 << 10
+
+// mapTask is one unit of map-phase work: a chunk of rows from one input,
+// partitioned into local per-destination buckets. Tasks execute on any
+// worker in any order; determinism comes from concatenating buckets in
+// task-creation order afterwards.
+type mapTask struct {
+	src     int
+	rows    []Row
+	buckets [][]Row // per destination partition, filled by the worker
+	bytes   int     // shuffle bytes produced (RowBytes per destination copy)
+	dups    int     // shuffle rows produced (>= len(rows) under MultiPartition)
+	stat    TaskStat
+}
+
+// mapWorkers resolves the map-phase pool size for the config.
+func (c *Cluster) mapWorkers() int {
+	w := c.Cfg.MapWorkers
+	if w <= 0 {
+		w = c.Cfg.Machines
+		if max := runtime.GOMAXPROCS(0); w > max {
+			w = max
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	start := time.Now()
 	nparts := s.NumPartitions
@@ -244,42 +318,139 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 		nparts = c.Cfg.Machines
 	}
 	stat := &StageStat{Name: s.Name, Partitions: nparts}
-
-	// ---- Map phase: read inputs, partition rows ----
-	// parts[p][src] accumulates rows for partition p from input src.
-	parts := make([][][]Row, nparts)
-	for p := range parts {
-		parts[p] = make([][]Row, len(s.Inputs))
+	if s.Reduce == nil && s.ReduceRuns == nil {
+		return stat, fmt.Errorf("stage %s: no reducer", s.Name)
 	}
+
+	// ---- Map phase: read inputs, partition rows in parallel ----
+	// Chunk every input partition into map tasks in (src, partition, chunk)
+	// order; that fixed order is what the concatenation below replays, so
+	// the shuffled row order is identical no matter how many workers run or
+	// how they interleave.
+	var tasks []*mapTask
 	for src, name := range s.Inputs {
 		ds, err := c.FS.Read(name)
 		if err != nil {
 			return stat, err
 		}
 		for _, partition := range ds.Partitions {
-			for _, r := range partition {
-				stat.InputRows++
-				b := RowBytes(r)
-				if s.MultiPartition != nil {
-					for _, p := range s.MultiPartition(r, src, nparts) {
-						parts[p][src] = append(parts[p][src], r)
-						stat.ShuffleRows++
-						stat.ShuffleBytes += b
-					}
-					continue
+			for off := 0; off < len(partition); off += mapChunkRows {
+				end := off + mapChunkRows
+				if end > len(partition) {
+					end = len(partition)
 				}
-				p := int(s.Partition(r, src) % uint64(nparts))
-				parts[p][src] = append(parts[p][src], r)
-				stat.ShuffleRows++
-				stat.ShuffleBytes += b
+				tasks = append(tasks, &mapTask{src: src, rows: partition[off:end]})
 			}
 		}
 	}
+	workers := c.mapWorkers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var mwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mwg.Add(1)
+		go func() {
+			defer mwg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				t0 := time.Now()
+				t.buckets = make([][]Row, nparts)
+				for _, r := range t.rows {
+					b := RowBytes(r)
+					if s.MultiPartition != nil {
+						for _, p := range s.MultiPartition(r, t.src, nparts) {
+							t.buckets[p] = append(t.buckets[p], r)
+							t.dups++
+							t.bytes += b
+						}
+						continue
+					}
+					p := int(s.Partition(r, t.src) % uint64(nparts))
+					t.buckets[p] = append(t.buckets[p], r)
+					t.dups++
+					t.bytes += b
+				}
+				t.stat = TaskStat{
+					Stage:     s.Name,
+					Partition: i,
+					Rows:      len(t.rows),
+					Attempts:  1,
+					Duration:  time.Since(t0),
+				}
+			}
+		}()
+	}
+	mwg.Wait()
+
+	// Deterministic concatenation: parts[p][src] is the tasks' buckets for
+	// (p, src) joined in task-creation order — byte-identical to the serial
+	// single-pass shuffle. runs[p][src] records each non-empty bucket's
+	// length; every run is a contiguous slice of one input partition in its
+	// original order, which ReduceRuns reducers exploit.
+	parts := make([][][]Row, nparts)
+	runs := make([][][]int, nparts)
+	var cwg sync.WaitGroup
+	var nextPart atomic.Int64
+	cworkers := c.mapWorkers()
+	if cworkers > nparts {
+		cworkers = nparts
+	}
+	for w := 0; w < cworkers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				p := int(nextPart.Add(1)) - 1
+				if p >= nparts {
+					return
+				}
+				parts[p] = make([][]Row, len(s.Inputs))
+				runs[p] = make([][]int, len(s.Inputs))
+				for src := range s.Inputs {
+					n := 0
+					for _, t := range tasks {
+						if t.src == src {
+							n += len(t.buckets[p])
+						}
+					}
+					if n == 0 {
+						continue
+					}
+					rows := make([]Row, 0, n)
+					for _, t := range tasks {
+						if t.src != src || len(t.buckets[p]) == 0 {
+							continue
+						}
+						rows = append(rows, t.buckets[p]...)
+						runs[p][src] = append(runs[p][src], len(t.buckets[p]))
+					}
+					parts[p][src] = rows
+				}
+			}
+		}()
+	}
+	cwg.Wait()
+	for _, t := range tasks {
+		stat.InputRows += len(t.rows)
+		stat.ShuffleRows += t.dups
+		stat.ShuffleBytes += t.bytes
+		stat.Maps = append(stat.Maps, t.stat)
+		t.buckets = nil // release before the reduce phase
+	}
 
 	// ---- Reduce phase: run reducers on a bounded worker pool ----
-	workers := c.Cfg.Machines
+	workers = c.Cfg.Machines
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		workers = max
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	type result struct {
 		part int
@@ -310,7 +481,13 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 				var out []Row
 				t0 := time.Now()
 				fail := c.injectedFailure(s.Name, p, attempt)
-				err := s.Reduce(p, parts[p], func(r Row) { out = append(out, r) })
+				emit := func(r Row) { out = append(out, r) }
+				var err error
+				if s.ReduceRuns != nil {
+					err = s.ReduceRuns(p, parts[p], runs[p], emit)
+				} else {
+					err = s.Reduce(p, parts[p], emit)
+				}
 				if fail {
 					// The attempt's partial output is discarded, exactly
 					// as M-R discards output of failed reducers; the task
@@ -372,6 +549,8 @@ func (c *Cluster) emitStageMetrics(stat *StageStat) {
 	sc.Counter("shuffle_bytes").Add(int64(stat.ShuffleBytes))
 	sc.Counter("output_rows").Add(int64(stat.OutputRows))
 	sc.Counter("tasks").Add(int64(len(stat.Tasks)))
+	sc.Counter("map_tasks").Add(int64(len(stat.Maps)))
+	sc.Counter("map_ns").Add(int64(stat.TotalMapTime()))
 	sc.Counter("failures").Add(int64(stat.Failures))
 	sc.Counter("retry_ns").Add(int64(stat.TotalRetryTime()))
 	sc.Gauge("max_task_rows").SetMax(int64(stat.MaxTaskRows()))
@@ -380,6 +559,10 @@ func (c *Cluster) emitStageMetrics(stat *StageStat) {
 	h := sc.Histogram("task_time")
 	for _, t := range stat.Tasks {
 		h.Observe(t.Duration + t.RetryTime)
+	}
+	mh := sc.Histogram("map_time")
+	for _, t := range stat.Maps {
+		mh.Observe(t.Duration)
 	}
 }
 

@@ -353,10 +353,10 @@ func TestFailureRateIncreasesMakespan(t *testing.T) {
 		if st.TotalRetryTime() <= 0 {
 			t.Fatalf("seed %d: %d failures but TotalRetryTime = %v", seed, st.Failures, st.TotalRetryTime())
 		}
-		if got, want := st.Makespan(1, 0), st.TotalTaskTime()+st.TotalRetryTime(); got != want {
-			t.Fatalf("seed %d: makespan(1) = %v, want work+retry = %v", seed, got, want)
+		if got, want := st.Makespan(1, 0), st.TotalMapTime()+st.TotalTaskTime()+st.TotalRetryTime(); got != want {
+			t.Fatalf("seed %d: makespan(1) = %v, want map+work+retry = %v", seed, got, want)
 		}
-		if st.Makespan(1, 0) <= st.TotalTaskTime() {
+		if st.Makespan(1, 0) <= st.TotalMapTime()+st.TotalTaskTime() {
 			t.Fatalf("seed %d: makespan does not exceed failure-free work", seed)
 		}
 		return

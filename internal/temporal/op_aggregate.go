@@ -265,9 +265,6 @@ func Coalesce(events []Event) []Event {
 	// via a pending map is enough: fragments of one logical event are
 	// emitted in LE order.
 	SortEvents(events)
-	type open struct {
-		idx int // position in out
-	}
 	out := make([]Event, 0, len(events))
 	pending := make(map[uint64][]int) // payload hash -> indexes in out still extendable
 	for _, e := range events {
@@ -275,18 +272,31 @@ func Coalesce(events []Event) []Event {
 		for _, v := range e.Payload {
 			h = v.Hash(h)
 		}
+		// Input is LE-ordered, so a candidate whose RE already fell below
+		// the current LE can never abut anything later — drop it while
+		// scanning, keeping each hash bucket at its live size (the sweep
+		// stays O(n) instead of O(n·k) on CTI-fragmented aggregates).
 		merged := false
 		cand := pending[h]
+		live := cand[:0]
 		for _, i := range cand {
-			if out[i].RE == e.LE && out[i].Payload.Equal(e.Payload) {
+			if out[i].RE < e.LE {
+				continue
+			}
+			live = append(live, i)
+			if !merged && out[i].RE == e.LE && out[i].Payload.Equal(e.Payload) {
 				out[i].RE = e.RE
 				merged = true
-				break
 			}
 		}
 		if !merged {
 			out = append(out, e)
-			pending[h] = append(pending[h], len(out)-1)
+			live = append(live, len(out)-1)
+		}
+		if len(live) > 0 {
+			pending[h] = live
+		} else {
+			delete(pending, h)
 		}
 	}
 	SortEvents(out)
