@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-json
+.PHONY: build test race vet fmt deprecations check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -19,15 +19,28 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Fails if non-test code picks up the deprecated engine constructors
+# (use NewEngine with options); the definitions themselves and the
+# facade re-exports are allowed.
+deprecations:
+	@out=$$(grep -rn --include='*.go' \
+		--exclude='*_test.go' \
+		-E 'NewEngine(To|Observed|ObservedTo)\(' . \
+		| grep -v '^\./internal/temporal/engine\.go:' \
+		| grep -v '^\./timr\.go:' || true); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated engine constructors in non-test code:"; \
+		echo "$$out"; exit 1; fi
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt race
+check: vet fmt deprecations race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
-# Headline benchmarks (shuffle, Fig. 15/16) as machine-readable JSON —
-# the perf trajectory file compared across PRs.
+# Headline benchmarks (shuffle, Fig. 15/16, engine feed path) as
+# machine-readable JSON — the perf trajectory file compared across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json

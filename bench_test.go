@@ -377,6 +377,69 @@ func BenchmarkEngine_GroupApplyJoin(b *testing.B) {
 	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// ---- Engine feed path: per-event vs batched push ----
+
+// engineFeedFixture builds a stateless hot chain (filters → window) over
+// the click log — the shape of a TiMR reducer's inner loop, where
+// per-call overhead dominates because each operator does almost no work
+// per event. No allocating operator (project, aggregate) is included:
+// those costs are identical on both paths and would mask the dispatch
+// saving this benchmark isolates.
+func engineFeedFixture(b *testing.B) (*temporal.Plan, []temporal.Event) {
+	b.Helper()
+	d, _ := fixtures(b)
+	schema, clicks := clickLog(d)
+	events := temporal.RowsToPointEvents(clicks, 0)
+	plan := temporal.Scan("in", schema).
+		Where(temporal.ColGtInt("AdId", -1)). // always true: measures dispatch, not selectivity
+		Where(temporal.ColGtInt("UserId", -1)).
+		WithWindow(temporal.Hour)
+	return plan, events
+}
+
+func BenchmarkEngineFeed_PerEvent(b *testing.B) {
+	plan, events := engineFeedFixture(b)
+	sink := &temporal.Collector{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		eng, err := temporal.NewEngine(plan, temporal.WithSink(sink))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range events {
+			eng.Feed("in", e)
+		}
+		eng.Flush()
+	}
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkEngineFeed_Batched(b *testing.B) {
+	plan, events := engineFeedFixture(b)
+	sink := &temporal.Collector{}
+	const batchSize = 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		eng, err := temporal.NewEngine(plan, temporal.WithSink(sink))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var batch temporal.Batch
+		for off := 0; off < len(events); off += batchSize {
+			end := off + batchSize
+			if end > len(events) {
+				end = len(events)
+			}
+			batch = temporal.Batch{Events: events[off:end]}
+			eng.FeedBatch("in", &batch)
+		}
+		eng.Flush()
+	}
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // Facade smoke check: the public API surface used by the examples.
 func TestFacadeSmoke(t *testing.T) {
 	schema := timr.NewSchema(

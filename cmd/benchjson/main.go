@@ -1,8 +1,9 @@
 // Command benchjson runs the repo's headline benchmarks (shuffle,
-// Fig. 15, Fig. 16) and writes the results as machine-readable JSON —
-// the perf trajectory file tracked across PRs. Usage:
+// Fig. 15, Fig. 16, the engine feed path) and writes the results as
+// machine-readable JSON — the perf trajectory file tracked across PRs.
+// Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_pr2.json
+//	go run ./cmd/benchjson -out BENCH_pr3.json
 //
 // It shells out to `go test -bench` (stdlib only, no benchstat
 // dependency) and parses the standard benchmark output format, keeping
@@ -62,22 +63,33 @@ func parse(pkg string, out []byte, into *[]Result) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr2.json", "output JSON file")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON file")
 	pattern := flag.String("bench", "Shuffle_1M|MergeRuns|MergeStableSort|Fig15|Fig16", "benchmark regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	feedtime := flag.String("feedbenchtime", "20x", "benchtime for the EngineFeed pair")
 	flag.Parse()
 
-	pkgs := []string{"./internal/mapreduce", "./internal/core", "."}
+	type run struct {
+		pkg, pattern, benchtime string
+	}
+	runs := []run{
+		{"./internal/mapreduce", *pattern, *benchtime},
+		{"./internal/core", *pattern, *benchtime},
+		{".", *pattern, *benchtime},
+		// The engine feed-path pair finishes in microseconds per op; a
+		// 3-iteration run is noise-dominated, so it gets more iterations.
+		{".", "EngineFeed", *feedtime},
+	}
 	var results []Result
-	for _, pkg := range pkgs {
-		fmt.Fprintf(os.Stderr, "benchjson: %s -bench %q\n", pkg, *pattern)
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *pattern, "-benchtime", *benchtime, pkg)
+	for _, r := range runs {
+		fmt.Fprintf(os.Stderr, "benchjson: %s -bench %q -benchtime %s\n", r.pkg, r.pattern, r.benchtime)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", r.pattern, "-benchtime", r.benchtime, r.pkg)
 		raw, err := cmd.CombinedOutput()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s failed: %v\n%s", pkg, err, raw)
+			fmt.Fprintf(os.Stderr, "benchjson: %s failed: %v\n%s", r.pkg, err, raw)
 			os.Exit(1)
 		}
-		parse(pkg, raw, &results)
+		parse(r.pkg, raw, &results)
 	}
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched")

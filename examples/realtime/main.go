@@ -40,11 +40,11 @@ func main() {
 		kept++
 		outPer[e.Payload[2].AsInt()]++
 	}}
-	eng, err := timr.NewEngineTo(plan, out)
+	// Punctuate every 15 min of app time.
+	eng, err := timr.NewEngine(plan, timr.WithSink(out), timr.WithCTIPeriod(15*timr.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.CTIPeriod = 15 * timr.Minute // punctuate every 15 min of app time
 
 	total := 0
 	for _, row := range data.Rows {

@@ -118,6 +118,21 @@ func (j *StreamingJob) Feed(source string, ev temporal.Event) error {
 	return nil
 }
 
+// FeedBatch pushes a run of source events (nondecreasing LE) into the
+// dataflow, routing the whole run per consuming stage in one call: the
+// routing tags are carved from one slab and single-partition stages
+// admit the run with one buffer append.
+func (j *StreamingJob) FeedBatch(source string, events []temporal.Event) error {
+	ins, ok := j.bySource[source]
+	if !ok {
+		return fmt.Errorf("timr: unknown streaming source %q", source)
+	}
+	for _, in := range ins {
+		in.stage.routeBatch(in.src, events)
+	}
+	return nil
+}
+
 // Advance propagates a punctuation wave through the DAG: stage by stage
 // in topological order, each stage first releases everything the wave
 // guarantees complete, then punctuates its engines, whose flushed output
@@ -165,6 +180,11 @@ type streamStage struct {
 	// batch mode), wherever the data's time origin lies.
 	minSpan int
 	hasSpan bool
+
+	// Routing scratch, reused across runs (barrier buffers copy event
+	// structs on push, so recycling these is safe).
+	one      [1]temporal.Event
+	routeBuf []temporal.Event
 
 	// Observability (nil-safe handles; see Config.Obs).
 	scope     *obs.Scope   // per-operator engine metrics for this stage
@@ -225,11 +245,13 @@ func (st *streamStage) partition(id int) *streamPartition {
 		return p
 	}
 	var sink temporal.Sink = &stageOutput{stage: st, span: id}
-	eng, err := temporal.NewEngineObservedTo(st.frag.Root, sink, st.scope)
+	eng, err := temporal.NewEngine(st.frag.Root,
+		temporal.WithSink(sink),
+		temporal.WithObs(st.scope),
+		temporal.WithCTIPeriod(0)) // punctuation comes from the wave, not per-feed
 	if err != nil {
 		panic(err) // plan already compiled once during batch validation
 	}
-	eng.CTIPeriod = 0 // punctuation comes from the wave, not per-feed
 	p := &streamPartition{eng: eng}
 	p.buf = &streamBuffer{
 		depth:    st.depth,
@@ -255,43 +277,72 @@ func (st *streamStage) partition(id int) *streamPartition {
 	return p
 }
 
-// route delivers an event for input src to the partition(s) that own it.
+// route delivers one event for input src to the partition(s) that own it.
 func (st *streamStage) route(src int, ev temporal.Event) {
-	// Tag the event with its input index so the barrier can feed the
-	// right engine source after reordering.
-	tagged := ev
-	payload := make(temporal.Row, len(ev.Payload)+1)
-	copy(payload, ev.Payload)
-	payload[len(ev.Payload)] = temporal.Int(int64(src))
-	tagged.Payload = payload
+	st.one[0] = ev
+	st.routeBatch(src, st.one[:])
+}
+
+// routeBatch delivers a run of events for input src. Routing tags (the
+// input index appended to each payload, so the barrier can feed the right
+// engine source after reordering) are carved from one slab per run, and
+// single-partition stages admit the whole run with one buffer append.
+func (st *streamStage) routeBatch(src int, events []temporal.Event) {
+	if len(events) == 0 {
+		return
+	}
+	// Tag payloads in one slab: [payload..., Int(src)] per event. The
+	// slab's lifetime matches the barrier buffer entries that reference it.
+	total := 0
+	for i := range events {
+		total += len(events[i].Payload) + 1
+	}
+	slab := make(temporal.Row, total)
+	tag := temporal.Int(int64(src))
+	tagged := append(st.routeBuf[:0], events...)
+	for i := range tagged {
+		n := len(tagged[i].Payload) + 1
+		row := slab[:n:n]
+		slab = slab[n:]
+		copy(row, tagged[i].Payload)
+		row[n-1] = tag
+		tagged[i].Payload = row
+	}
 
 	switch {
 	case st.spans != nil:
-		// Route by the full lifetime [LE, RE), not LE alone: a window the
-		// event opens contributes to snapshots up to RE+overlap, so every
-		// span up to there must see it (mirrors SpansForInterval in batch).
-		re := ev.RE
-		if re < ev.LE+1 {
-			re = ev.LE + 1
-		}
-		first := int(floorDivT(ev.LE, st.spans.Width))
-		last := int(floorDivT(re-1+st.spans.Overlap, st.spans.Width))
-		// Spans are lazy (N is effectively unbounded), so a pathological
-		// lifetime could fan one event out to millions of partitions; cap
-		// the fan-out and count what was cut so it is observable.
-		if last-first+1 > maxSpanFanout {
-			last = first + maxSpanFanout - 1
-			st.truncated.Inc()
-		}
-		for i := first; i <= last; i++ {
-			st.partition(i).buf.push(tagged)
+		for i := range tagged {
+			ev := &tagged[i]
+			// Route by the full lifetime [LE, RE), not LE alone: a window
+			// the event opens contributes to snapshots up to RE+overlap, so
+			// every span up to there must see it (mirrors SpansForInterval
+			// in batch).
+			re := ev.RE
+			if re < ev.LE+1 {
+				re = ev.LE + 1
+			}
+			first := int(floorDivT(ev.LE, st.spans.Width))
+			last := int(floorDivT(re-1+st.spans.Overlap, st.spans.Width))
+			// Spans are lazy (N is effectively unbounded), so a pathological
+			// lifetime could fan one event out to millions of partitions;
+			// cap the fan-out and count what was cut so it is observable.
+			if last-first+1 > maxSpanFanout {
+				last = first + maxSpanFanout - 1
+				st.truncated.Inc()
+			}
+			for p := first; p <= last; p++ {
+				st.partition(p).buf.push(*ev)
+			}
 		}
 	case st.nparts == 1:
-		st.partition(0).buf.push(tagged)
+		st.partition(0).buf.pushAll(tagged)
 	default:
-		h := temporal.HashRow(ev.Payload, st.keyCols[src])
-		st.partition(int(h % uint64(st.nparts))).buf.push(tagged)
+		for i := range tagged {
+			h := temporal.HashRow(tagged[i].Payload, st.keyCols[src])
+			st.partition(int(h % uint64(st.nparts))).buf.push(tagged[i])
+		}
 	}
+	st.routeBuf = tagged[:0]
 }
 
 // advance runs this stage's barrier at time t: release buffered events
@@ -376,6 +427,12 @@ type streamBuffer struct {
 
 func (b *streamBuffer) push(e temporal.Event) {
 	b.pending = append(b.pending, e)
+	b.depth.SetMax(int64(len(b.pending)))
+}
+
+// pushAll admits a whole run with one append and one gauge update.
+func (b *streamBuffer) pushAll(evs []temporal.Event) {
+	b.pending = append(b.pending, evs...)
 	b.depth.SetMax(int64(len(b.pending)))
 }
 

@@ -133,9 +133,11 @@ func (t *TiMR) ResultEvents(name string) ([]temporal.Event, error) {
 
 // Stage converts one fragment into a map-reduce stage whose reducer is
 // the generated method P of the paper: it converts partition rows to
-// events, feeds them to an embedded engine instance running the fragment
-// plan (the generated method P'), and drains result events back to rows
-// through a blocking queue (§III-C.2).
+// events, feeds them in batches to an embedded engine instance running
+// the fragment plan (the generated method P'), and emits result events
+// back as rows directly from the engine's batched output (the paper's
+// blocking-queue bridge of §III-C.2 collapses to a synchronous sink when
+// reducer and engine share one thread).
 func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
 	// A raw source may itself be the output of an earlier TiMR job, in
 	// which case its rows carry interval lifetimes; detect that from the
@@ -236,18 +238,22 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 	mergeFallbacks := scope.Counter("merge_fallback_sorts")
 
 	return func(part int, in [][]mapreduce.Row, runs [][]int, emit func(mapreduce.Row)) error {
-		// The DSMS pushes results asynchronously while M-R pulls rows
-		// synchronously from the reducer; TiMR bridges the two with a
-		// blocking queue (§III-C.2).
-		queue := make(chan temporal.Event, 1024)
-		sink := &temporal.FuncSink{
-			Event: func(e temporal.Event) { queue <- e },
+		// The paper's deployment bridges the DSMS's asynchronous push to
+		// M-R's synchronous pull with a blocking queue (§III-C.2). Here
+		// both sides live in one goroutine, so the engine's batched output
+		// lands directly in the result sink — no channel, no per-event
+		// handoff — and rows flow to emit after the final coalesce.
+		sink := &reduceSink{clip: spans != nil}
+		if spans != nil {
+			sink.start, sink.end = spans.Owned(part)
 		}
-		eng, err := temporal.NewEngineObservedTo(root, sink, scope)
+		eng, err := temporal.NewEngine(root,
+			temporal.WithSink(sink),
+			temporal.WithObs(scope),
+			temporal.WithCTIPeriod(cfg.CTIPeriod))
 		if err != nil {
 			return err
 		}
-		eng.CTIPeriod = cfg.CTIPeriod
 
 		// Convert partition rows to events (P reads rows "and converts
 		// each row into an event using the predefined Time column").
@@ -304,30 +310,28 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 		mergeRuns.Add(int64(len(runRanges)))
 		order := mergeRunOrder(les, runRanges, func() { mergeFallbacks.Add(1) })
 
-		done := make(chan error, 1)
-		go func() {
-			defer close(queue)
-			for _, ix := range order {
-				eng.Feed(feed[ix].Source, feed[ix].Event)
+		// Feed the merged order in same-source batches: one pipeline entry
+		// call per run instead of per event.
+		batch := make([]temporal.Event, 0, reduceFeedBatch)
+		cur := ""
+		flush := func() {
+			if len(batch) > 0 {
+				eng.FeedBatch(cur, &temporal.Batch{Events: batch})
+				batch = batch[:0]
 			}
-			eng.Flush()
-			done <- nil
-		}()
+		}
+		for _, ix := range order {
+			se := &feed[ix]
+			if se.Source != cur || len(batch) >= reduceFeedBatch {
+				flush()
+				cur = se.Source
+			}
+			batch = append(batch, se.Event)
+		}
+		flush()
+		eng.Flush()
 
-		var out []temporal.Event
-		for e := range queue {
-			if spans != nil {
-				start, end := spans.Owned(part)
-				e.LE, e.RE = maxT(e.LE, start), minT(e.RE, end)
-				if e.LE >= e.RE {
-					continue
-				}
-			}
-			out = append(out, e)
-		}
-		if err := <-done; err != nil {
-			return err
-		}
+		out := sink.out
 		if cfg.Coalesce {
 			out = temporal.Coalesce(out)
 		}
@@ -337,6 +341,46 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 		return nil
 	}
 }
+
+// reduceFeedBatch sizes the reducer's engine-feed batches: large enough
+// to amortize per-batch dispatch to noise, small enough to stay
+// cache-resident.
+const reduceFeedBatch = 1024
+
+// reduceSink collects a partition engine's output for the reducer,
+// clipping events to the partition's owned span under temporal
+// partitioning. It implements BatchSink, so the engine's batched tail
+// delivers whole runs in one call.
+type reduceSink struct {
+	clip       bool
+	start, end temporal.Time
+	out        []temporal.Event
+}
+
+func (s *reduceSink) add(e temporal.Event) {
+	if s.clip {
+		e.LE, e.RE = maxT(e.LE, s.start), minT(e.RE, s.end)
+		if e.LE >= e.RE {
+			return
+		}
+	}
+	s.out = append(s.out, e)
+}
+
+func (s *reduceSink) OnEvent(e temporal.Event) { s.add(e) }
+
+func (s *reduceSink) OnBatch(b *temporal.Batch) {
+	if !s.clip {
+		s.out = append(s.out, b.Events...)
+		return
+	}
+	for _, e := range b.Events {
+		s.add(e)
+	}
+}
+
+func (s *reduceSink) OnCTI(temporal.Time) {}
+func (s *reduceSink) OnFlush()            {}
 
 func maxT(a, b temporal.Time) temporal.Time {
 	if a > b {

@@ -59,10 +59,11 @@ type Config struct {
 	// the network (write + transfer + read), charged to the makespan
 	// accounting; it does not slow real execution.
 	ShufflePerRow time.Duration
-	// MapWorkers caps the map-phase worker pool. Zero (the default) uses
-	// min(Machines, GOMAXPROCS); 1 forces the serial reference path that
-	// the shuffle benchmark and determinism tests compare against. The
-	// shuffled row order is identical for every setting.
+	// MapWorkers caps the worker pool of every stage phase (map,
+	// concatenate, reduce). Zero (the default) uses min(Machines,
+	// GOMAXPROCS); 1 forces the serial reference path that the shuffle
+	// benchmark and determinism tests compare against. The shuffled row
+	// order is identical for every setting.
 	MapWorkers int
 }
 
@@ -296,14 +297,20 @@ type mapTask struct {
 	stat    TaskStat
 }
 
-// mapWorkers resolves the map-phase pool size for the config.
-func (c *Cluster) mapWorkers() int {
+// workers resolves the worker-pool size for a phase with n parallel
+// tasks: MapWorkers when set, otherwise min(Machines, GOMAXPROCS),
+// clamped to [1, n]. All three phases of runStage (map, concatenate,
+// reduce) share this derivation so MapWorkers applies uniformly.
+func (c *Cluster) workers(n int) int {
 	w := c.Cfg.MapWorkers
 	if w <= 0 {
 		w = c.Cfg.Machines
 		if max := runtime.GOMAXPROCS(0); w > max {
 			w = max
 		}
+	}
+	if w > n {
+		w = n
 	}
 	if w < 1 {
 		w = 1
@@ -343,10 +350,7 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 			}
 		}
 	}
-	workers := c.mapWorkers()
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
+	workers := c.workers(len(tasks))
 	var next atomic.Int64
 	var mwg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -397,10 +401,7 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	runs := make([][][]int, nparts)
 	var cwg sync.WaitGroup
 	var nextPart atomic.Int64
-	cworkers := c.mapWorkers()
-	if cworkers > nparts {
-		cworkers = nparts
-	}
+	cworkers := c.workers(nparts)
 	for w := 0; w < cworkers; w++ {
 		cwg.Add(1)
 		go func() {
@@ -445,13 +446,7 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	}
 
 	// ---- Reduce phase: run reducers on a bounded worker pool ----
-	workers = c.Cfg.Machines
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = c.workers(nparts)
 	type result struct {
 		part int
 		rows []Row

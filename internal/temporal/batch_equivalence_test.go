@@ -1,0 +1,291 @@
+package temporal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Batched delivery must be indistinguishable from per-event delivery: a
+// batch is exactly its events in order followed by its trailing CTI, and
+// batch boundaries carry no semantics. These property tests drive every
+// operator kind with randomized streams, randomized CTI placement and
+// randomized batch boundaries, and require the *exact* downstream call
+// sequence — each emitted event (lifetime and payload) and each CTI, in
+// order — to match the per-event run. This is stronger than comparing
+// coalesced results: it pins the contract at the Sink/BatchSink seam.
+
+// feedToken is one delivery step of a randomized input script.
+type feedToken struct {
+	src   string
+	isCTI bool
+	t     Time
+	ev    Event
+}
+
+// seqSink records the exact call sequence it observes.
+type seqSink struct {
+	tokens []feedToken
+}
+
+func (r *seqSink) OnEvent(e Event) { r.tokens = append(r.tokens, feedToken{ev: e}) }
+func (r *seqSink) OnCTI(t Time)    { r.tokens = append(r.tokens, feedToken{isCTI: true, t: t}) }
+func (r *seqSink) OnFlush()        {}
+
+func tokensEqual(a, b feedToken) bool {
+	if a.isCTI != b.isCTI {
+		return false
+	}
+	if a.isCTI {
+		return a.t == b.t
+	}
+	if a.ev.LE != b.ev.LE || a.ev.RE != b.ev.RE || len(a.ev.Payload) != len(b.ev.Payload) {
+		return false
+	}
+	for i := range a.ev.Payload {
+		if !a.ev.Payload[i].Equal(b.ev.Payload[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func diffTokens(got, want []feedToken) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if !tokensEqual(got[i], want[i]) {
+			return fmt.Sprintf("call %d: batched %+v, per-event %+v", i, got[i], want[i])
+		}
+	}
+	if len(got) != len(want) {
+		return fmt.Sprintf("call count: batched %d, per-event %d", len(got), len(want))
+	}
+	return ""
+}
+
+// genScript builds a random delivery script over the given sources:
+// point events with globally nondecreasing LE (so each source's substream
+// is in order), with CTIs injected at random positions at the current
+// stream time.
+func genScript(rng *rand.Rand, srcs []string, n int) []feedToken {
+	t := Time(0)
+	var toks []feedToken
+	for i := 0; i < n; i++ {
+		t += Time(rng.Intn(4))
+		src := srcs[rng.Intn(len(srcs))]
+		row := Row{Int(int64(t)), String(fmt.Sprintf("k%d", rng.Intn(3))), Int(int64(rng.Intn(11) - 5))}
+		toks = append(toks, feedToken{src: src, ev: PointEvent(t, row)})
+		if rng.Intn(4) == 0 {
+			toks = append(toks, feedToken{src: srcs[rng.Intn(len(srcs))], isCTI: true, t: t})
+		}
+	}
+	return toks
+}
+
+func feedPerEvent(p *Pipeline, toks []feedToken, srcs []string) {
+	for _, tk := range toks {
+		if tk.isCTI {
+			p.Input(tk.src).OnCTI(tk.t)
+		} else {
+			p.Input(tk.src).OnEvent(tk.ev)
+		}
+	}
+	// Flush sources in a fixed order: FlushAll ranges over a map, and a
+	// merger's end-of-stream drain order depends on which side ends first.
+	for _, src := range srcs {
+		p.Input(src).OnFlush()
+	}
+}
+
+// feedBatched replays the same script through the batch entries, cutting
+// batches at source changes, after every trailing CTI, and at random
+// extra points.
+func feedBatched(rng *rand.Rand, p *Pipeline, toks []feedToken, srcs []string) {
+	var b Batch
+	cur := ""
+	flush := func() {
+		if len(b.Events) > 0 || b.HasCTI {
+			p.BatchInput(cur).OnBatch(&b)
+			b = Batch{Events: b.Events[:0]}
+		}
+	}
+	for _, tk := range toks {
+		if tk.src != cur {
+			flush()
+			cur = tk.src
+		}
+		if tk.isCTI {
+			b.CTI, b.HasCTI = tk.t, true
+			flush() // a CTI is always trailing: it ends its batch
+			continue
+		}
+		b.Events = append(b.Events, tk.ev)
+		if rng.Intn(3) == 0 {
+			flush() // random boundary: must not be observable downstream
+		}
+	}
+	flush()
+	for _, src := range srcs {
+		p.Input(src).OnFlush()
+	}
+}
+
+// checkBatchEquivalence compiles the plan twice and compares the exact
+// output call sequence of a per-event run against a batched run of the
+// same script, across several random seeds.
+func checkBatchEquivalence(t *testing.T, name string, mk func() *Plan, srcs []string) {
+	t.Helper()
+	for seed := int64(0); seed < 8; seed++ {
+		toks := genScript(rand.New(rand.NewSource(seed)), srcs, 120)
+
+		ref := &seqSink{}
+		p1, err := Compile(mk(), ref)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		feedPerEvent(p1, toks, srcs)
+
+		got := &seqSink{}
+		p2, err := Compile(mk(), got)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		feedBatched(rand.New(rand.NewSource(seed+1000)), p2, toks, srcs)
+
+		if d := diffTokens(got.tokens, ref.tokens); d != "" {
+			t.Fatalf("%s seed %d: batched run diverged: %s", name, seed, d)
+		}
+	}
+}
+
+// scriptSchema matches genScript's rows: {Time, Key, V}.
+func scriptSchema() *Schema {
+	return NewSchema(
+		Field{Name: "Time", Kind: KindInt},
+		Field{Name: "Key", Kind: KindString},
+		Field{Name: "V", Kind: KindInt},
+	)
+}
+
+func TestBatchEquivalenceEveryOperator(t *testing.T) {
+	sch := scriptSchema()
+	one := []string{"s"}
+	two := []string{"l", "r"}
+	cases := []struct {
+		name string
+		srcs []string
+		mk   func() *Plan
+	}{
+		{"Select", one, func() *Plan {
+			return Scan("s", sch).Where(ColGtInt("V", 0))
+		}},
+		{"Project", one, func() *Plan {
+			return Scan("s", sch).Project(Keep("Time"), Keep("V"))
+		}},
+		{"AlterLifetimeWindow", one, func() *Plan {
+			return Scan("s", sch).WithWindow(10)
+		}},
+		{"AlterLifetimeHop", one, func() *Plan {
+			return Scan("s", sch).WithHop(10, 4)
+		}},
+		{"AlterLifetimeShift", one, func() *Plan {
+			return Scan("s", sch).WithWindow(6).ShiftLifetime(-3)
+		}},
+		{"AlterLifetimePoint", one, func() *Plan {
+			return Scan("s", sch).WithWindow(5).Count("C").ToPoint()
+		}},
+		{"Aggregate", one, func() *Plan {
+			return Scan("s", sch).WithWindow(10).Sum("V", "S")
+		}},
+		{"GroupApply", one, func() *Plan {
+			return Scan("s", sch).GroupApply([]string{"Key"}, func(g *Plan) *Plan {
+				return g.WithWindow(8).Count("C")
+			})
+		}},
+		{"UDO", one, func() *Plan {
+			return Scan("s", sch).Apply(UDOSpec{
+				Name: "count", Window: 10, Hop: 5,
+				Out: NewSchema(Field{Name: "N", Kind: KindInt}),
+				Fn: func(ws, we Time, rows []Row) []Row {
+					return []Row{{Int(int64(len(rows)))}}
+				},
+			})
+		}},
+		{"Union", two, func() *Plan {
+			return Scan("l", sch).Union(Scan("r", sch))
+		}},
+		{"TemporalJoin", two, func() *Plan {
+			return Scan("l", sch).Join(Scan("r", sch).WithWindow(12), []string{"Key"}, []string{"Key"}, nil)
+		}},
+		{"AntiSemiJoin", two, func() *Plan {
+			return Scan("l", sch).AntiSemiJoin(Scan("r", sch).WithWindow(12), []string{"Key"}, []string{"Key"})
+		}},
+		{"Multicast", one, func() *Plan {
+			// A shared node compiles to a physical multicast feeding both
+			// sides of the union.
+			base := Scan("s", sch).Where(ColGtInt("V", -10))
+			return base.WithWindow(4).Count("C").Union(base.WithWindow(9).Count("C"))
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			checkBatchEquivalence(t, tc.name, tc.mk, tc.srcs)
+		})
+	}
+}
+
+// reorderOp is not reachable from a Plan (it fronts out-of-order live
+// feeds), so its batch path is pinned at operator level: same disordered
+// input, same released sequence — including the mid-batch releases forced
+// by the advancing watermark.
+func TestBatchEquivalenceReorder(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []Event
+		tm := Time(50)
+		for i := 0; i < 150; i++ {
+			tm += Time(rng.Intn(4))
+			// Disorder beyond the slack now and then: late events release
+			// immediately, which the batch path must reproduce in place.
+			le := tm - Time(rng.Intn(12))
+			evs = append(evs, PointEvent(le, Row{Int(int64(le))}))
+		}
+		withCTI := seed%2 == 0 // half the runs end with a punctuation
+
+		ref := &seqSink{}
+		r1 := newReorder(5, ref)
+		for _, e := range evs {
+			r1.OnEvent(e)
+		}
+		if withCTI {
+			r1.OnCTI(tm)
+		}
+		r1.OnFlush()
+
+		got := &seqSink{}
+		r2 := newReorder(5, got)
+		var b Batch
+		for _, e := range evs {
+			b.Events = append(b.Events, e)
+			if rng.Intn(3) == 0 {
+				r2.OnBatch(&b)
+				b = Batch{Events: b.Events[:0]}
+			}
+		}
+		if withCTI {
+			b.CTI, b.HasCTI = tm, true
+		}
+		if len(b.Events) > 0 || b.HasCTI {
+			r2.OnBatch(&b)
+		}
+		r2.OnFlush()
+
+		if d := diffTokens(got.tokens, ref.tokens); d != "" {
+			t.Fatalf("reorder seed %d: batched run diverged: %s", seed, d)
+		}
+	}
+}

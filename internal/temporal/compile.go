@@ -13,6 +13,7 @@ type Pipeline struct {
 	inputs  map[string]Sink
 	schemas map[string]*Schema
 	out     *Schema
+	binputs map[string]BatchSink // batch views of inputs, resolved lazily
 }
 
 // Input returns the entry sink for the named source.
@@ -21,6 +22,21 @@ func (p *Pipeline) Input(source string) Sink {
 	if !ok {
 		panic("temporal: pipeline has no source " + source)
 	}
+	return in
+}
+
+// BatchInput returns the batch-granularity entry for the named source,
+// resolving (and caching) the batch view of the entry sink so repeated
+// FeedBatch calls pay no per-call assertion or adapter allocation.
+func (p *Pipeline) BatchInput(source string) BatchSink {
+	if in, ok := p.binputs[source]; ok {
+		return in
+	}
+	in := AsBatchSink(p.Input(source))
+	if p.binputs == nil {
+		p.binputs = make(map[string]BatchSink)
+	}
+	p.binputs[source] = in
 	return in
 }
 

@@ -17,43 +17,83 @@ type Engine struct {
 	pipeline *Pipeline
 	collect  *Collector
 	sink     Sink
-	// CTIPeriod controls automatic punctuation injection by FeedSorted:
-	// a CTI is broadcast whenever application time advances by this much.
-	// Zero disables automatic CTIs (state is bounded only by Flush).
+	// CTIPeriod controls automatic punctuation injection by Feed,
+	// FeedBatch and FeedSorted: a CTI is broadcast whenever application
+	// time advances past the next period boundary (the schedule is
+	// anchored at the first event's time). Zero disables automatic CTIs
+	// (state is bounded only by Flush).
 	CTIPeriod Time
 	lastCTI   Time
+	feedBuf   []Event // reused run buffer for FeedSorted
+	feedBatch Batch   // reused batch header for FeedBatch/FeedSorted
 }
 
-// NewEngine compiles the plan with an internal collector for results.
-func NewEngine(plan *Plan) (*Engine, error) { return NewEngineObserved(plan, nil) }
+// Option configures an Engine at construction.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	sink      Sink
+	scope     *obs.Scope
+	ctiPeriod Time
+}
+
+// WithSink delivers results to a caller-supplied sink (e.g. a live
+// dashboard) instead of an internal collector. Engines built with a
+// custom sink return nil from Results/RawResults.
+func WithSink(out Sink) Option { return func(o *engineOptions) { o.sink = out } }
+
+// WithObs enables per-operator instrumentation reporting into scope (see
+// CompileObserved). A nil scope disables it. Engines for different
+// partitions of the same fragment may share one scope: metric handles are
+// shared atomics, so counts aggregate.
+func WithObs(scope *obs.Scope) Option { return func(o *engineOptions) { o.scope = scope } }
+
+// WithCTIPeriod sets the automatic punctuation period (see
+// Engine.CTIPeriod). Zero disables automatic CTIs. The default is Hour.
+func WithCTIPeriod(p Time) Option { return func(o *engineOptions) { o.ctiPeriod = p } }
+
+// NewEngine compiles the plan into an engine. With no options, results
+// accumulate in an internal collector (read them back with Results);
+// WithSink, WithObs and WithCTIPeriod configure the output sink,
+// instrumentation and automatic punctuation.
+func NewEngine(plan *Plan, opts ...Option) (*Engine, error) {
+	o := engineOptions{ctiPeriod: Hour}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var collect *Collector
+	sink := o.sink
+	if sink == nil {
+		collect = &Collector{}
+		sink = collect
+	}
+	p, err := CompileObserved(plan, sink, o.scope)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{pipeline: p, collect: collect, sink: sink, CTIPeriod: o.ctiPeriod, lastCTI: MinTime}, nil
+}
 
 // NewEngineTo compiles the plan delivering results to a caller-supplied
-// sink (e.g. a live dashboard in the real-time examples).
+// sink.
+//
+// Deprecated: use NewEngine(plan, WithSink(out)).
 func NewEngineTo(plan *Plan, out Sink) (*Engine, error) {
-	return NewEngineObservedTo(plan, out, nil)
+	return NewEngine(plan, WithSink(out))
 }
 
-// NewEngineObserved is NewEngine with per-operator instrumentation
-// reporting into scope (see CompileObserved). A nil scope disables it.
+// NewEngineObserved is NewEngine with per-operator instrumentation.
+//
+// Deprecated: use NewEngine(plan, WithObs(scope)).
 func NewEngineObserved(plan *Plan, scope *obs.Scope) (*Engine, error) {
-	col := &Collector{}
-	p, err := CompileObserved(plan, col, scope)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{pipeline: p, collect: col, sink: col, CTIPeriod: Hour, lastCTI: MinTime}, nil
+	return NewEngine(plan, WithObs(scope))
 }
 
-// NewEngineObservedTo is NewEngineTo with per-operator instrumentation
-// reporting into scope (see CompileObserved). A nil scope disables it.
-// Engines for different partitions of the same fragment may share one
-// scope: metric handles are shared atomics, so counts aggregate.
+// NewEngineObservedTo is NewEngineTo with per-operator instrumentation.
+//
+// Deprecated: use NewEngine(plan, WithSink(out), WithObs(scope)).
 func NewEngineObservedTo(plan *Plan, out Sink, scope *obs.Scope) (*Engine, error) {
-	p, err := CompileObserved(plan, out, scope)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{pipeline: p, sink: out, CTIPeriod: Hour, lastCTI: MinTime}, nil
+	return NewEngine(plan, WithSink(out), WithObs(scope))
 }
 
 // Pipeline exposes the compiled pipeline.
@@ -65,6 +105,61 @@ func (e *Engine) Feed(source string, ev Event) {
 	e.maybeCTI(ev.LE)
 }
 
+// FeedBatch pushes a run of events (nondecreasing LE) into the named
+// source as one batch — the batched counterpart of a Feed loop, with one
+// pipeline entry call per run instead of per event. The run is split
+// only where the automatic CTI schedule fires, so downstream observes
+// exactly the per-event call sequence. An optional trailing CTI on the
+// batch punctuates this source after its events.
+//
+// The batch and its Events slice remain owned by the caller and may be
+// reused after the call returns.
+func (e *Engine) FeedBatch(source string, b *Batch) {
+	in := e.pipeline.BatchInput(source)
+	// Snapshot the header: b may alias e.feedBatch (FeedSorted does), and
+	// mid-run punctuation below reuses that header for sub-batches.
+	evs, cti, hasCTI := b.Events, b.CTI, b.HasCTI
+	start := 0
+	if e.CTIPeriod > 0 && len(evs) > 0 {
+		if e.lastCTI == MinTime {
+			e.lastCTI = evs[0].LE // first event anchors the schedule
+		}
+		// One compare per event against the precomputed next boundary.
+		next := e.lastCTI + e.CTIPeriod
+		for i := range evs {
+			t := evs[i].LE
+			if t < next {
+				continue
+			}
+			// Deliver the run up to and including the triggering event,
+			// then punctuate — the same order Feed+maybeCTI produces.
+			e.feedBatch = Batch{Events: evs[start : i+1]}
+			in.OnBatch(&e.feedBatch)
+			start = i + 1
+			e.pipeline.AdvanceAll(t)
+			e.lastCTI += ((t - e.lastCTI) / e.CTIPeriod) * e.CTIPeriod
+			next = e.lastCTI + e.CTIPeriod
+		}
+	}
+	if start == 0 {
+		// No mid-run punctuation: forward the caller's batch as-is.
+		if len(evs) > 0 || hasCTI {
+			in.OnBatch(b)
+		}
+	} else if start < len(evs) || hasCTI {
+		e.feedBatch = Batch{Events: evs[start:], CTI: cti, HasCTI: hasCTI}
+		in.OnBatch(&e.feedBatch)
+	}
+	if hasCTI && cti > e.lastCTI {
+		e.lastCTI = cti
+	}
+}
+
+// maybeCTI drives the automatic punctuation schedule: the first event
+// anchors it, and whenever application time crosses one or more period
+// boundaries a CTI is broadcast and the schedule advances by whole
+// periods (not to t itself — otherwise sparse sources whose events land
+// between boundaries would drift the schedule and under-punctuate).
 func (e *Engine) maybeCTI(t Time) {
 	if e.CTIPeriod <= 0 {
 		return
@@ -73,9 +168,9 @@ func (e *Engine) maybeCTI(t Time) {
 		e.lastCTI = t
 		return
 	}
-	if t-e.lastCTI >= e.CTIPeriod {
+	if d := t - e.lastCTI; d >= e.CTIPeriod {
 		e.pipeline.AdvanceAll(t)
-		e.lastCTI = t
+		e.lastCTI += (d / e.CTIPeriod) * e.CTIPeriod
 	}
 }
 
@@ -89,7 +184,7 @@ func (e *Engine) Advance(t Time) {
 func (e *Engine) Flush() { e.pipeline.FlushAll() }
 
 // Results returns the collected output, coalesced and sorted, when the
-// engine was built with NewEngine.
+// engine was built with an internal collector.
 func (e *Engine) Results() []Event {
 	if e.collect == nil {
 		return nil
@@ -115,18 +210,23 @@ type SourceEvent struct {
 	Event  Event
 }
 
+// feedRunCap bounds the reused run buffer FeedSorted batches through:
+// large enough to amortize per-batch costs to noise, small enough to
+// stay cache-resident and to bound the copy buffer.
+const feedRunCap = 1024
+
 // FeedSorted feeds a batch of source events in global LE order (sorting
 // through an index vector if needed, which keeps equal-timestamp order
 // stable without shuffling the events themselves), injecting CTIs every
-// CTIPeriod of application time.
+// CTIPeriod of application time. Maximal same-source runs are pushed
+// through FeedBatch, so a single-source feed crosses the pipeline in
+// feedRunCap-sized batches.
 func (e *Engine) FeedSorted(events []SourceEvent) {
 	ordered := sort.SliceIsSorted(events, func(i, j int) bool {
 		return events[i].Event.LE < events[j].Event.LE
 	})
 	if ordered {
-		for i := range events {
-			e.Feed(events[i].Source, events[i].Event)
-		}
+		e.feedRuns(events, nil)
 		return
 	}
 	order := make([]int32, len(events))
@@ -136,9 +236,34 @@ func (e *Engine) FeedSorted(events []SourceEvent) {
 	sort.SliceStable(order, func(i, j int) bool {
 		return events[order[i]].Event.LE < events[order[j]].Event.LE
 	})
-	for _, ix := range order {
-		e.Feed(events[ix].Source, events[ix].Event)
+	e.feedRuns(events, order)
+}
+
+// feedRuns feeds events in index order (identity when order is nil),
+// batching maximal same-source runs (capped at feedRunCap) into FeedBatch.
+func (e *Engine) feedRuns(events []SourceEvent, order []int32) {
+	buf := e.feedBuf[:0]
+	cur := ""
+	flush := func() {
+		if len(buf) > 0 {
+			e.feedBatch = Batch{Events: buf}
+			e.FeedBatch(cur, &e.feedBatch)
+			buf = buf[:0]
+		}
 	}
+	for i := range events {
+		se := &events[i]
+		if order != nil {
+			se = &events[order[i]]
+		}
+		if se.Source != cur || len(buf) >= feedRunCap {
+			flush()
+			cur = se.Source
+		}
+		buf = append(buf, se.Event)
+	}
+	flush()
+	e.feedBuf = buf[:0]
 }
 
 // RunPlan compiles and runs a plan over per-source event batches and

@@ -462,7 +462,7 @@ func TestEngineToCallbackSink(t *testing.T) {
 	var n int
 	sink := &FuncSink{Event: func(Event) { n++ }}
 	plan := Scan("in", readingSchema()).Where(ColGtInt("Power", 0))
-	eng, err := NewEngineTo(plan, sink)
+	eng, err := NewEngine(plan, WithSink(sink))
 	if err != nil {
 		t.Fatal(err)
 	}

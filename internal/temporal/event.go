@@ -96,7 +96,10 @@ func EventsEqual(a, b []Event) bool {
 	return true
 }
 
-// Sink is the push interface every physical operator implements.
+// Sink is the per-event push interface every physical operator
+// implements. The hot-path operators additionally implement BatchSink
+// (batch.go), which carries a whole run of events per call; AsBatchSink
+// bridges the two, so per-event and batched producers compose freely.
 //
 // Contract: OnEvent is called with nondecreasing e.LE; OnCTI(t) promises
 // that every later event has LE >= t (a punctuation, used for state
@@ -108,7 +111,8 @@ type Sink interface {
 	OnFlush()
 }
 
-// Collector is a terminal Sink that accumulates results.
+// Collector is a terminal Sink that accumulates results. It also
+// implements BatchSink, so a batched pipeline hands it whole runs.
 type Collector struct {
 	Events []Event
 }
@@ -116,11 +120,19 @@ type Collector struct {
 // OnEvent appends the event.
 func (c *Collector) OnEvent(e Event) { c.Events = append(c.Events, e) }
 
+// OnBatch appends the batch's events wholesale.
+func (c *Collector) OnBatch(b *Batch) { c.Events = append(c.Events, b.Events...) }
+
 // OnCTI is a no-op for a collector.
 func (c *Collector) OnCTI(Time) {}
 
 // OnFlush is a no-op for a collector.
 func (c *Collector) OnFlush() {}
+
+// Reset drops collected events but keeps the backing capacity, so one
+// collector can be reused across engine runs (benchmark loops, repeated
+// partitions) without accumulating unbounded result slices.
+func (c *Collector) Reset() { c.Events = c.Events[:0] }
 
 // FuncSink adapts callbacks to the Sink interface; used to stream results
 // into application code (e.g. the real-time example and TiMR's blocking

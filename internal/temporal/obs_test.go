@@ -19,7 +19,7 @@ func TestObservedOperatorCounts(t *testing.T) {
 	plan := Scan("s", schema).Where(ColGtInt("V", 0)).WithWindow(10).Count("C")
 
 	root := obs.New("engine")
-	eng, err := NewEngineObserved(plan, root)
+	eng, err := NewEngine(plan, WithObs(root))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestObservedScopeSharedAcrossEngines(t *testing.T) {
 	plan := Scan("s", schema).WithWindow(5).Count("C")
 	root := obs.New("shared")
 	for i := 0; i < 2; i++ {
-		eng, err := NewEngineObserved(plan, root)
+		eng, err := NewEngine(plan, WithObs(root))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func TestObservedTableNamesOperators(t *testing.T) {
 	schema := NewSchema(Field{Name: "Time", Kind: KindInt}, Field{Name: "V", Kind: KindInt})
 	plan := Scan("s", schema).Where(ColGtInt("V", 0)).WithWindow(10).Count("C")
 	root := obs.New("engine")
-	eng, err := NewEngineObserved(plan, root)
+	eng, err := NewEngine(plan, WithObs(root))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestObservedMatchesUnobserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewEngineObserved(mk(), obs.New("x"))
+	eng, err := NewEngine(mk(), WithObs(obs.New("x")))
 	if err != nil {
 		t.Fatal(err)
 	}

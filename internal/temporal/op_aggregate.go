@@ -228,6 +228,11 @@ func (a *aggregateOp) OnEvent(e Event) {
 	a.cur = maxTime(a.cur, e.LE)
 }
 
+// OnBatch consumes a whole run in one call; the sweep itself is
+// inherently event-at-a-time (each arrival can close segments), so the
+// batch win is the amortized upstream dispatch and metering.
+func (a *aggregateOp) OnBatch(b *Batch) { loopBatch(a, b) }
+
 func (a *aggregateOp) OnCTI(t Time) {
 	a.advanceTo(t)
 	a.emitSegment(t) // force-close so downstream watermark can advance

@@ -118,6 +118,10 @@ func (g *groupApplyOp) OnEvent(e Event) {
 	inst.entry.OnEvent(e)
 }
 
+// OnBatch consumes a whole run in one call, dispatching each event to
+// its group's sub-pipeline (see loopBatch).
+func (g *groupApplyOp) OnBatch(b *Batch) { loopBatch(g, b) }
+
 func (g *groupApplyOp) OnCTI(t Time) {
 	if g.lastBroadcast != MinTime && t < g.lastBroadcast+g.gap {
 		return // thinned; see the gap field

@@ -60,8 +60,9 @@ func (m *opMetrics) pollState() {
 // high watermark against punctuations, and polls live state after the
 // operator has absorbed each delivery.
 type meterIn struct {
-	m   *opMetrics
-	out Sink
+	m    *opMetrics
+	out  Sink
+	bout BatchSink // lazily resolved batch view of out
 }
 
 func (s *meterIn) OnEvent(e Event) {
@@ -81,6 +82,27 @@ func (s *meterIn) OnCTI(t Time) {
 	s.m.pollState()
 }
 
+// OnBatch meters a whole run with one counter add, then forwards the
+// batch intact. Input LE is nondecreasing, so the run's high watermark is
+// its last event. Live state is polled once per batch rather than per
+// event: the state gauge remains a high-watermark, sampled more coarsely.
+func (s *meterIn) OnBatch(b *Batch) {
+	if n := len(b.Events); n > 0 {
+		s.m.eventsIn.Add(int64(n))
+		if le := b.Events[n-1].LE; le > s.m.maxLE {
+			s.m.maxLE = le
+		}
+	}
+	if b.HasCTI && s.m.maxLE != MinTime && s.m.maxLE > b.CTI {
+		s.m.wmLag.SetMax(int64(s.m.maxLE - b.CTI))
+	}
+	if s.bout == nil {
+		s.bout = AsBatchSink(s.out)
+	}
+	s.bout.OnBatch(b)
+	s.m.pollState()
+}
+
 func (s *meterIn) OnFlush() { s.out.OnFlush() }
 
 // meterOut sits on an operator (or pipeline source) output: counts events
@@ -89,6 +111,7 @@ type meterOut struct {
 	events *obs.Counter
 	ctis   *obs.Counter
 	out    Sink
+	bout   BatchSink // lazily resolved batch view of out
 }
 
 func (s *meterOut) OnEvent(e Event) {
@@ -99,6 +122,20 @@ func (s *meterOut) OnEvent(e Event) {
 func (s *meterOut) OnCTI(t Time) {
 	s.ctis.Inc()
 	s.out.OnCTI(t)
+}
+
+// OnBatch meters a whole run with one counter add per metric.
+func (s *meterOut) OnBatch(b *Batch) {
+	if n := len(b.Events); n > 0 {
+		s.events.Add(int64(n))
+	}
+	if b.HasCTI {
+		s.ctis.Inc()
+	}
+	if s.bout == nil {
+		s.bout = AsBatchSink(s.out)
+	}
+	s.bout.OnBatch(b)
 }
 
 func (s *meterOut) OnFlush() { s.out.OnFlush() }

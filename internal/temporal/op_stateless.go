@@ -2,9 +2,17 @@ package temporal
 
 import "container/heap"
 
+// The stateless hot-path operators implement both Sink (per-event) and
+// BatchSink (batch-at-a-time). The batch methods are the primary path:
+// they process a whole run in a tight loop and make one downstream call,
+// reusing a per-operator output buffer (see batchOut). The per-event
+// methods remain for drivers and operators that have not been converted.
+
 // multicast fans one ordered stream out to several downstream sinks.
 type multicast struct {
-	outs []Sink
+	outs  []Sink
+	bouts []BatchSink // lazily resolved batch views of outs
+	b     Batch       // reused header for the events-only sub-batch
 }
 
 func (m *multicast) OnEvent(e Event) {
@@ -12,6 +20,32 @@ func (m *multicast) OnEvent(e Event) {
 	// input payloads in place, so sharing is safe and allocation-free.
 	for _, o := range m.outs {
 		o.OnEvent(e)
+	}
+}
+
+func (m *multicast) OnBatch(b *Batch) {
+	if m.bouts == nil {
+		m.bouts = make([]BatchSink, len(m.outs))
+		for i, o := range m.outs {
+			m.bouts[i] = AsBatchSink(o)
+		}
+	}
+	// Events go branch-major (each branch gets the whole run in one
+	// call); the trailing punctuation is then delivered branch by branch,
+	// exactly as OnCTI would. Branch-major event delivery is safe because
+	// event pushes alone never emit punctuations, and a merge operator
+	// fed by two branches reaches the same state and releases the same
+	// sequence regardless of the interleaving of its ordered inputs.
+	if len(b.Events) > 0 {
+		m.b = Batch{Events: b.Events}
+		for _, o := range m.bouts {
+			o.OnBatch(&m.b)
+		}
+	}
+	if b.HasCTI {
+		for _, o := range m.outs {
+			o.OnCTI(b.CTI)
+		}
 	}
 }
 
@@ -31,6 +65,7 @@ func (m *multicast) OnFlush() {
 type filterOp struct {
 	pred func(Row) bool
 	out  Sink
+	bo   batchOut
 }
 
 func (f *filterOp) OnEvent(e Event) {
@@ -38,6 +73,30 @@ func (f *filterOp) OnEvent(e Event) {
 		f.out.OnEvent(e)
 	}
 }
+
+func (f *filterOp) OnBatch(b *Batch) {
+	evs := b.Events
+	// Fast path: nothing dropped in the prefix scan — forward the
+	// producer's batch untouched, with zero copying.
+	i := 0
+	for i < len(evs) && f.pred(evs[i].Payload) {
+		i++
+	}
+	if i == len(evs) {
+		if len(evs) > 0 || b.HasCTI {
+			f.bo.resolve(f.out).OnBatch(b)
+		}
+		return
+	}
+	kept := append(f.bo.buf[:0], evs[:i]...)
+	for i++; i < len(evs); i++ {
+		if f.pred(evs[i].Payload) {
+			kept = append(kept, evs[i])
+		}
+	}
+	f.bo.emit(f.out, kept, b.CTI, b.HasCTI)
+}
+
 func (f *filterOp) OnCTI(t Time) { f.out.OnCTI(t) }
 func (f *filterOp) OnFlush()     { f.out.OnFlush() }
 
@@ -47,16 +106,32 @@ type projectOp struct {
 	fns   []func(Row) Value
 	arena rowArena
 	out   Sink
+	bo    batchOut
 }
 
 func (p *projectOp) OnEvent(e Event) {
-	row := p.arena.alloc(len(p.fns))
-	for i, fn := range p.fns {
-		row[i] = fn(e.Payload)
-	}
-	e.Payload = row
+	e.Payload = p.projectRow(e.Payload)
 	p.out.OnEvent(e)
 }
+
+func (p *projectOp) OnBatch(b *Batch) {
+	outEvs := p.bo.buf[:0]
+	for i := range b.Events {
+		e := b.Events[i]
+		e.Payload = p.projectRow(e.Payload)
+		outEvs = append(outEvs, e)
+	}
+	p.bo.emit(p.out, outEvs, b.CTI, b.HasCTI)
+}
+
+func (p *projectOp) projectRow(in Row) Row {
+	row := p.arena.alloc(len(p.fns))
+	for i, fn := range p.fns {
+		row[i] = fn(in)
+	}
+	return row
+}
+
 func (p *projectOp) OnCTI(t Time) { p.out.OnCTI(t) }
 func (p *projectOp) OnFlush()     { p.out.OnFlush() }
 
@@ -76,6 +151,7 @@ type alterLifetimeOp struct {
 	window, hop Time
 	shift       Time
 	out         Sink
+	bo          batchOut
 	// continuation-suppression state for LifePoint
 	pending  map[uint64][]pointPending
 	npending int // live entries across pending buckets
@@ -87,6 +163,38 @@ type pointPending struct {
 }
 
 func (a *alterLifetimeOp) OnEvent(e Event) {
+	if e, ok := a.transform(e); ok {
+		a.out.OnEvent(e)
+	}
+}
+
+func (a *alterLifetimeOp) OnBatch(b *Batch) {
+	outEvs := a.bo.buf[:0]
+	if a.mode == LifeWindow && a.window > 0 {
+		// The dominant mode (WithWindow), with the mode switch and the
+		// RE<=LE clamp hoisted out of the loop: window > 0 implies RE > LE.
+		for i := range b.Events {
+			e := b.Events[i]
+			e.RE = e.LE + a.window
+			outEvs = append(outEvs, e)
+		}
+	} else {
+		for i := range b.Events {
+			if e, ok := a.transform(b.Events[i]); ok {
+				outEvs = append(outEvs, e)
+			}
+		}
+	}
+	cti := b.CTI
+	if b.HasCTI {
+		cti = a.shiftCTI(cti)
+	}
+	a.bo.emit(a.out, outEvs, cti, b.HasCTI)
+}
+
+// transform applies the lifetime rewrite; ok=false suppresses the event
+// (a LifePoint continuation).
+func (a *alterLifetimeOp) transform(e Event) (_ Event, ok bool) {
 	switch a.mode {
 	case LifeWindow:
 		e.RE = e.LE + a.window
@@ -101,14 +209,14 @@ func (a *alterLifetimeOp) OnEvent(e Event) {
 		e.RE += a.shift
 	case LifePoint:
 		if a.isContinuation(&e) {
-			return
+			return e, false
 		}
 		e.RE = e.LE + Tick
 	}
 	if e.RE <= e.LE {
 		e.RE = e.LE + Tick
 	}
-	a.out.OnEvent(e)
+	return e, true
 }
 
 // isContinuation records e's lifetime and reports whether it extends a
@@ -149,13 +257,15 @@ func (a *alterLifetimeOp) isContinuation(e *Event) bool {
 
 func (a *alterLifetimeOp) liveState() int { return a.npending }
 
-func (a *alterLifetimeOp) OnCTI(t Time) {
+func (a *alterLifetimeOp) shiftCTI(t Time) Time {
 	if a.mode == LifeShift && a.shift < 0 {
 		t += a.shift
 	}
-	a.out.OnCTI(t)
+	return t
 }
-func (a *alterLifetimeOp) OnFlush() { a.out.OnFlush() }
+
+func (a *alterLifetimeOp) OnCTI(t Time) { a.out.OnCTI(a.shiftCTI(t)) }
+func (a *alterLifetimeOp) OnFlush()     { a.out.OnFlush() }
 
 // floorDiv is floor division that is correct for negative operands.
 func floorDiv(a, b Time) Time {
@@ -198,6 +308,7 @@ type reorderOp struct {
 	buf   eventHeap
 	wm    Time
 	out   Sink
+	bo    batchOut
 }
 
 func newReorder(slack Time, out Sink) *reorderOp {
@@ -210,6 +321,36 @@ func (r *reorderOp) OnEvent(e Event) {
 		r.wm = e.LE
 	}
 	r.release(r.wm - r.slack)
+}
+
+// OnBatch runs the per-event admit/release cycle over the whole run but
+// accumulates released events into one output batch. The release points
+// (per event, against the running watermark) match the per-event path
+// exactly, so even slack-violating inputs produce identical output.
+func (r *reorderOp) OnBatch(b *Batch) {
+	released := r.bo.buf[:0]
+	for i := range b.Events {
+		e := b.Events[i]
+		heap.Push(&r.buf, e)
+		if e.LE > r.wm {
+			r.wm = e.LE
+		}
+		upto := r.wm - r.slack
+		for len(r.buf) > 0 && r.buf[0].LE <= upto {
+			released = append(released, heap.Pop(&r.buf).(Event))
+		}
+	}
+	if b.HasCTI {
+		// A CTI promises no later event has LE < t: release below t
+		// regardless of slack.
+		if b.CTI > r.wm {
+			r.wm = b.CTI
+		}
+		for len(r.buf) > 0 && r.buf[0].LE <= b.CTI {
+			released = append(released, heap.Pop(&r.buf).(Event))
+		}
+	}
+	r.bo.emit(r.out, released, b.CTI, b.HasCTI)
 }
 
 func (r *reorderOp) OnCTI(t Time) {

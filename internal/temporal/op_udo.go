@@ -42,6 +42,9 @@ func (u *hoppingUDOOp) firstEnd(t Time) Time {
 	return floorDiv(t, u.h)*u.h + u.h
 }
 
+// OnBatch consumes a whole run in one call (see loopBatch).
+func (u *hoppingUDOOp) OnBatch(b *Batch) { loopBatch(u, b) }
+
 func (u *hoppingUDOOp) OnCTI(t Time) {
 	u.processWindows(t)
 	u.out.OnCTI(t)

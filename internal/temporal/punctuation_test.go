@@ -166,6 +166,44 @@ func TestMergerCompaction(t *testing.T) {
 	}
 }
 
+// The automatic CTI schedule is anchored at the first event and advances
+// by whole periods. The old derivation (lastCTI = triggering event time)
+// drifted the schedule toward sparse events and under-punctuated: with
+// period P and events at 0, 1.5P, 2.2P it fired once instead of twice.
+func TestAutoCTIScheduleAnchored(t *testing.T) {
+	const P = Time(100)
+	feed := []Time{0, 3 * P / 2, 11 * P / 5} // 0, 1.5P, 2.2P
+	run := func(drive func(eng *Engine)) int {
+		var ctis int
+		sink := &FuncSink{CTI: func(Time) { ctis++ }}
+		eng, err := NewEngine(Scan("s", readingSchema()), WithSink(sink), WithCTIPeriod(P))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(eng)
+		return ctis
+	}
+	got := run(func(eng *Engine) {
+		for _, tm := range feed {
+			eng.Feed("s", reading(tm, "m", 1))
+		}
+	})
+	if got != 2 {
+		t.Errorf("per-event feed: %d auto CTIs, want 2 (schedule drifted)", got)
+	}
+	// The batched entry must punctuate on the identical schedule.
+	got = run(func(eng *Engine) {
+		evs := make([]Event, len(feed))
+		for i, tm := range feed {
+			evs[i] = reading(tm, "m", 1)
+		}
+		eng.FeedBatch("s", &Batch{Events: evs})
+	})
+	if got != 2 {
+		t.Errorf("batched feed: %d auto CTIs, want 2", got)
+	}
+}
+
 func TestEngineAccessors(t *testing.T) {
 	sch := readingSchema()
 	plan := Scan("in", sch).WithWindow(3).Count("C")

@@ -104,6 +104,17 @@ type (
 	SourceEvent = temporal.SourceEvent
 	// Sink is the push interface of physical operators and result consumers.
 	Sink = temporal.Sink
+	// Batch is a run of events plus an optional trailing CTI — the unit of
+	// the batched dataflow contract.
+	Batch = temporal.Batch
+	// BatchSink is the batch-granularity push interface.
+	BatchSink = temporal.BatchSink
+	// EventAdapter presents a per-event Sink as a BatchSink.
+	EventAdapter = temporal.EventAdapter
+	// BatchAdapter presents a BatchSink as a per-event Sink.
+	BatchAdapter = temporal.BatchAdapter
+	// EngineOption configures NewEngine (WithSink, WithObs, WithCTIPeriod).
+	EngineOption = temporal.Option
 	// Collector is a Sink accumulating results.
 	Collector = temporal.Collector
 	// FuncSink adapts callbacks to Sink.
@@ -146,18 +157,24 @@ const (
 
 // Constructors and helpers re-exported from the engine.
 var (
-	Int               = temporal.Int
-	Float             = temporal.Float
-	String            = temporal.String
-	Bool              = temporal.Bool
-	NewSchema         = temporal.NewSchema
-	Scan              = temporal.Scan
-	PointEvent        = temporal.PointEvent
-	SortEvents        = temporal.SortEvents
-	EventsEqual       = temporal.EventsEqual
-	Coalesce          = temporal.Coalesce
-	NewEngine         = temporal.NewEngine
-	NewEngineTo       = temporal.NewEngineTo
+	Int           = temporal.Int
+	Float         = temporal.Float
+	String        = temporal.String
+	Bool          = temporal.Bool
+	NewSchema     = temporal.NewSchema
+	Scan          = temporal.Scan
+	PointEvent    = temporal.PointEvent
+	SortEvents    = temporal.SortEvents
+	EventsEqual   = temporal.EventsEqual
+	Coalesce      = temporal.Coalesce
+	NewEngine     = temporal.NewEngine
+	WithSink      = temporal.WithSink
+	WithObs       = temporal.WithObs
+	WithCTIPeriod = temporal.WithCTIPeriod
+	AsBatchSink   = temporal.AsBatchSink
+	// Deprecated: use NewEngine(plan, WithSink(out)).
+	NewEngineTo = temporal.NewEngineTo
+	// Deprecated: use NewEngine(plan, WithObs(scope)).
 	NewEngineObserved = temporal.NewEngineObserved
 	RunPlan           = temporal.RunPlan
 	RowsToPointEvents = temporal.RowsToPointEvents
