@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,16 @@ deprecations:
 		echo "deprecated engine constructors in non-test code:"; \
 		echo "$$out"; exit 1; fi
 
+# Chaos equivalence under the race detector: streaming jobs with
+# injected partition crashes (multiple seeds) must match the crash-free
+# run bit-for-bit, and checkpoint roundtrips must be byte-identical.
+chaos:
+	$(GO) test -race -count=1 -run 'TestStreamingChaos|TestCheckpoint' ./internal/core/ ./internal/temporal/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race
+check: vet fmt deprecations race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

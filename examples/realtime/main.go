@@ -106,7 +106,9 @@ func main() {
 	for _, row := range data.Rows {
 		ts := row[0].AsInt()
 		if ts-lastCTI >= 15*timr.Minute {
-			job.Advance(ts)
+			if err := job.Advance(ts); err != nil {
+				log.Fatal(err)
+			}
 			lastCTI = ts
 		}
 		if err := job.Feed(bt.SourceEvents, timr.PointEvent(ts, row)); err != nil {
@@ -114,11 +116,15 @@ func main() {
 		}
 	}
 	job.Flush()
-	fmt.Printf("\npipelined 8-partition dataflow of the same plan: %d events passed\n", len(job.Results()))
-	if len(job.Results()) == kept {
+	streamRes, err := job.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipelined 8-partition dataflow of the same plan: %d events passed\n", len(streamRes))
+	if len(streamRes) == kept {
 		fmt.Println("distributed streaming execution matches too — write once, run anywhere (§VII)")
 	} else {
-		fmt.Printf("MISMATCH: streaming=%d single=%d\n", len(job.Results()), kept)
+		fmt.Printf("MISMATCH: streaming=%d single=%d\n", len(streamRes), kept)
 	}
 	_ = streamed
 }

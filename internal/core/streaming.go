@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"timr/internal/obs"
@@ -34,7 +36,26 @@ type StreamingJob struct {
 	results  []temporal.Event
 	cfg      Config
 	machines int
+	waves    int // completed punctuation waves (crash-draw input)
 	flushed  bool
+}
+
+// ErrFlushed is returned by Feed, FeedBatch and Advance on a job whose
+// Flush has already drained the dataflow: its engines are spent, so any
+// further input would be silently lost.
+var ErrFlushed = errors.New("timr: streaming job already flushed")
+
+// CrashConfig enables deterministic partition crash injection in a
+// streaming job — the streaming counterpart of Config.FailureRate for the
+// batch cluster. Rate is the per-partition, per-wave probability that the
+// partition is killed at a pseudo-random point of the following feed
+// interval; the draw is a pure function of (fragment, partition, wave,
+// Seed), mirroring Cluster.injectedFailure, so a chaotic run is exactly
+// reproducible. A killed partition loses its engine and barrier buffer and
+// recovers from its last checkpoint plus the replay log.
+type CrashConfig struct {
+	Rate float64
+	Seed int64
 }
 
 type stageInput struct {
@@ -108,6 +129,9 @@ func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, m
 // Feed pushes one source event into the dataflow. Events must arrive in
 // nondecreasing LE order per source (a live feed's natural order).
 func (j *StreamingJob) Feed(source string, ev temporal.Event) error {
+	if j.flushed {
+		return ErrFlushed
+	}
 	ins, ok := j.bySource[source]
 	if !ok {
 		return fmt.Errorf("timr: unknown streaming source %q", source)
@@ -123,6 +147,9 @@ func (j *StreamingJob) Feed(source string, ev temporal.Event) error {
 // routing tags are carved from one slab and single-partition stages
 // admit the run with one buffer append.
 func (j *StreamingJob) FeedBatch(source string, events []temporal.Event) error {
+	if j.flushed {
+		return ErrFlushed
+	}
 	ins, ok := j.bySource[source]
 	if !ok {
 		return fmt.Errorf("timr: unknown streaming source %q", source)
@@ -137,15 +164,25 @@ func (j *StreamingJob) FeedBatch(source string, events []temporal.Event) error {
 // in topological order, each stage first releases everything the wave
 // guarantees complete, then punctuates its engines, whose flushed output
 // cascades into the next stage before that stage's own barrier runs.
-func (j *StreamingJob) Advance(t temporal.Time) {
+// After the wave, every partition checkpoints its engine and resets its
+// replay log — the recovery line a crashed partition rolls back to.
+func (j *StreamingJob) Advance(t temporal.Time) error {
+	if j.flushed {
+		return ErrFlushed
+	}
 	for _, st := range j.stages {
 		st.advance(t)
 	}
 	j.out.advance(t)
+	j.waves++
+	return nil
 }
 
-// Flush ends all inputs and drains the DAG.
+// Flush ends all inputs and drains the DAG. Flushing twice is a no-op.
 func (j *StreamingJob) Flush() {
+	if j.flushed {
+		return
+	}
 	for _, st := range j.stages {
 		st.flush()
 	}
@@ -153,12 +190,14 @@ func (j *StreamingJob) Flush() {
 	j.flushed = true
 }
 
-// Results returns the coalesced output events (after Flush).
-func (j *StreamingJob) Results() []temporal.Event {
+// Results returns the coalesced output events. Calling it before Flush is
+// an error: the dataflow still holds buffered state, so any result would
+// be silently partial.
+func (j *StreamingJob) Results() ([]temporal.Event, error) {
 	if !j.flushed {
-		return nil
+		return nil, errors.New("timr: Results before Flush: the dataflow is still live; Flush first")
 	}
-	return temporal.Coalesce(append([]temporal.Event(nil), j.results...))
+	return temporal.Coalesce(append([]temporal.Event(nil), j.results...)), nil
 }
 
 // ---- stage ----
@@ -187,12 +226,16 @@ type streamStage struct {
 	routeBuf []temporal.Event
 
 	// Observability (nil-safe handles; see Config.Obs).
-	scope     *obs.Scope   // per-operator engine metrics for this stage
-	depth     *obs.Gauge   // barrier buffer depth high-watermark
-	released  *obs.Counter // events released through the barrier
-	clipped   *obs.Counter // output events dropped entirely at span edges
-	trimmed   *obs.Counter // output events shortened to their owned span
-	truncated *obs.Counter // events whose span fan-out hit maxSpanFanout
+	scope      *obs.Scope   // per-operator engine metrics for this stage
+	depth      *obs.Gauge   // barrier buffer depth high-watermark
+	released   *obs.Counter // events released through the barrier
+	clipped    *obs.Counter // output events dropped entirely at span edges
+	trimmed    *obs.Counter // output events shortened to their owned span
+	truncated  *obs.Counter // events whose span fan-out hit maxSpanFanout
+	crashes    *obs.Counter // injected partition crashes
+	recoveries *obs.Counter // partitions rebuilt from checkpoint + replay
+	ckptBytes  *obs.Counter // checkpoint bytes written at waves
+	replayed   *obs.Counter // events replayed from the log after a crash
 }
 
 // maxSpanFanout bounds how many lazy span partitions one event may be
@@ -203,8 +246,19 @@ type streamStage struct {
 const maxSpanFanout = 4096
 
 type streamPartition struct {
+	id  int
 	eng *temporal.Engine
 	buf *streamBuffer // order-restoring barrier in front of the engine
+
+	// Recovery state. ckpt is the engine snapshot taken at the last wave
+	// (nil before the first); log replays every event admitted since —
+	// bounded, because it resets at each wave. Between waves the engine
+	// never consumes input (the barrier only releases during advance), so
+	// ckpt+log reconstruct the partition exactly at any moment.
+	ckpt    []byte
+	log     []temporal.Event
+	pushes  int // events admitted since the last wave
+	crashAt int // crash when pushes reaches this; -1 = disarmed
 }
 
 func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
@@ -221,6 +275,16 @@ func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
 		clipped:      sc.Counter("events_clipped"),
 		trimmed:      sc.Counter("events_trimmed"),
 		truncated:    sc.Counter("route_truncated"),
+		crashes:      sc.Counter("crashes"),
+		recoveries:   sc.Counter("recoveries"),
+		ckptBytes:    sc.Counter("checkpoint_bytes"),
+		replayed:     sc.Counter("replayed_events"),
+	}
+	// Validate the fragment root up front: partitions compile engines
+	// lazily (possibly mid-feed, on the first event into a new span), and
+	// a compile error must surface here as an error, not there as a panic.
+	if _, err := temporal.Compile(frag.Root, discardSink{}); err != nil {
+		return nil, fmt.Errorf("timr: fragment %s: %w", frag.Name, err)
 	}
 	switch {
 	case frag.Part.Temporal:
@@ -240,29 +304,34 @@ func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
 	return st, nil
 }
 
+func (st *streamStage) newEngine(id int) *temporal.Engine {
+	eng, err := temporal.NewEngine(st.frag.Root,
+		temporal.WithSink(&stageOutput{stage: st, span: id}),
+		temporal.WithObs(st.scope),
+		temporal.WithCTIPeriod(0)) // punctuation comes from the wave, not per-feed
+	if err != nil {
+		panic(err) // unreachable: fragment roots are compile-validated in newStage
+	}
+	return eng
+}
+
 func (st *streamStage) partition(id int) *streamPartition {
 	if p, ok := st.parts[id]; ok {
 		return p
 	}
-	var sink temporal.Sink = &stageOutput{stage: st, span: id}
-	eng, err := temporal.NewEngine(st.frag.Root,
-		temporal.WithSink(sink),
-		temporal.WithObs(st.scope),
-		temporal.WithCTIPeriod(0)) // punctuation comes from the wave, not per-feed
-	if err != nil {
-		panic(err) // plan already compiled once during batch validation
-	}
-	p := &streamPartition{eng: eng}
+	p := &streamPartition{id: id, eng: st.newEngine(id), crashAt: -1}
 	p.buf = &streamBuffer{
 		depth:    st.depth,
 		released: st.released,
 		deliver: func(e temporal.Event) {
 			src := int(e.Payload[len(e.Payload)-1].AsInt()) // routing tag
 			e.Payload = e.Payload[:len(e.Payload)-1]
-			eng.Feed(st.frag.Inputs[src].ScanName, e)
+			// Through p, not a captured engine: recovery swaps p.eng.
+			p.eng.Feed(st.frag.Inputs[src].ScanName, e)
 		},
 	}
 	st.parts[id] = p
+	st.arm(p)
 	if st.spans != nil && (!st.hasSpan || id < st.minSpan) {
 		// New earliest span: it inherits ownership of everything before
 		// it. Safe to move while the job runs: a span earlier than all
@@ -331,36 +400,137 @@ func (st *streamStage) routeBatch(src int, events []temporal.Event) {
 				st.truncated.Inc()
 			}
 			for p := first; p <= last; p++ {
-				st.partition(p).buf.push(*ev)
+				st.admit(st.partition(p), *ev)
 			}
 		}
 	case st.nparts == 1:
-		st.partition(0).buf.pushAll(tagged)
+		st.admitAll(st.partition(0), tagged)
 	default:
 		for i := range tagged {
 			h := temporal.HashRow(tagged[i].Payload, st.keyCols[src])
-			st.partition(int(h % uint64(st.nparts))).buf.push(tagged[i])
+			st.admit(st.partition(int(h%uint64(st.nparts))), tagged[i])
 		}
 	}
 	st.routeBuf = tagged[:0]
 }
 
+// ---- crash injection and recovery ----
+
+// admit pushes one event into a partition's barrier and replay log,
+// firing an armed crash first when its push count comes due — so the
+// partition dies mid-feed and the event lands on the recovered one.
+func (st *streamStage) admit(p *streamPartition, e temporal.Event) {
+	if p.crashAt >= 0 && p.pushes >= p.crashAt {
+		st.crash(p)
+	}
+	p.buf.push(e)
+	p.log = append(p.log, e)
+	p.pushes++
+}
+
+// admitAll admits a whole run, splitting it when an armed crash lands
+// inside: the head is admitted, the partition dies and recovers, and the
+// tail is admitted to the rebuilt partition.
+func (st *streamStage) admitAll(p *streamPartition, evs []temporal.Event) {
+	if p.crashAt >= 0 && p.pushes+len(evs) > p.crashAt {
+		k := p.crashAt - p.pushes
+		if k < 0 {
+			k = 0
+		}
+		p.buf.pushAll(evs[:k])
+		p.log = append(p.log, evs[:k]...)
+		p.pushes += k
+		st.crash(p)
+		evs = evs[k:]
+	}
+	p.buf.pushAll(evs)
+	p.log = append(p.log, evs...)
+	p.pushes += len(evs)
+}
+
+// crash kills a partition and immediately recovers it: the engine and
+// barrier buffer are discarded, a fresh engine is restored from the last
+// wave's checkpoint, and the replay log repopulates the barrier. Because
+// engines consume input only during waves (the barrier releases nothing
+// between them), the checkpoint plus the log reconstruct the partition
+// exactly, at whatever moment the crash fires.
+func (st *streamStage) crash(p *streamPartition) {
+	st.crashes.Inc()
+	p.crashAt = -1 // disarmed until the next wave re-arms
+	p.eng = st.newEngine(p.id)
+	if p.ckpt != nil {
+		if err := p.eng.Restore(p.ckpt); err != nil {
+			// Unreachable short of memory corruption: the checkpoint came
+			// from an engine compiled from this same fragment root.
+			panic(fmt.Sprintf("timr: partition recovery failed: %v", err))
+		}
+	}
+	p.buf.pending = append(p.buf.pending[:0], p.log...)
+	st.replayed.Add(int64(len(p.log)))
+	st.recoveries.Inc()
+}
+
+// arm draws the partition's fate for the coming feed interval. The draw
+// is a pure function of (fragment, partition, wave, seed) — mirroring
+// Cluster.injectedFailure — so chaotic runs are exactly reproducible.
+func (st *streamStage) arm(p *streamPartition) {
+	cc := st.job.cfg.Crash
+	if cc.Rate <= 0 {
+		p.crashAt = -1
+		return
+	}
+	h := temporal.HashSeed
+	h = temporal.String(st.frag.Name).Hash(h)
+	h = temporal.Int(int64(p.id)).Hash(h)
+	h = temporal.Int(int64(st.job.waves)).Hash(h)
+	h = temporal.Int(cc.Seed).Hash(h)
+	r := rand.New(rand.NewSource(int64(h)))
+	if r.Float64() < cc.Rate {
+		p.crashAt = r.Intn(64) // die this many admissions into the interval
+	} else {
+		p.crashAt = -1
+	}
+}
+
 // advance runs this stage's barrier at time t: release buffered events
 // below t into the engines, then punctuate the engines (flushing their
 // output into downstream buffers before those stages' barriers run).
+// Afterwards each partition checkpoints its engine, resets its replay log
+// to the events still pending, and draws its fate for the next interval.
 func (st *streamStage) advance(t temporal.Time) {
 	for _, p := range st.parts {
+		if p.crashAt >= 0 {
+			// Armed crash no feed reached: fire it at the wave boundary so
+			// quiet partitions crash too.
+			st.crash(p)
+		}
 		p.buf.advance(t)
 		p.eng.Advance(t)
+		p.ckpt = p.eng.Checkpoint()
+		st.ckptBytes.Add(int64(len(p.ckpt)))
+		p.log = append(p.log[:0], p.buf.pending...)
+		p.pushes = 0
+		st.arm(p)
 	}
 }
 
 func (st *streamStage) flush() {
 	for _, p := range st.parts {
+		if p.crashAt >= 0 {
+			st.crash(p) // last chance for an armed crash to matter
+		}
 		p.buf.flush()
 		p.eng.Flush()
 	}
 }
+
+// discardSink swallows output; newStage compiles a throwaway pipeline
+// into it to validate fragment roots up front.
+type discardSink struct{}
+
+func (discardSink) OnEvent(temporal.Event) {}
+func (discardSink) OnCTI(temporal.Time)    {}
+func (discardSink) OnFlush()               {}
 
 // stageOutput forwards a partition engine's output downstream, clipping
 // temporal partitions to their owned span.

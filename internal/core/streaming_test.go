@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
 
 	"timr/internal/mapreduce"
+	"timr/internal/obs"
 	"timr/internal/temporal"
 )
 
@@ -38,7 +40,9 @@ func runStreaming(t *testing.T, plan *temporal.Plan, sources map[string]*tempora
 	last := temporal.Time(temporal.MinTime)
 	for _, se := range all {
 		if last != temporal.MinTime && se.Event.LE-last >= period {
-			job.Advance(se.Event.LE)
+			if err := job.Advance(se.Event.LE); err != nil {
+				t.Fatal(err)
+			}
 			last = se.Event.LE
 		} else if last == temporal.MinTime {
 			last = se.Event.LE
@@ -48,7 +52,11 @@ func runStreaming(t *testing.T, plan *temporal.Plan, sources map[string]*tempora
 		}
 	}
 	job.Flush()
-	return job.Results()
+	res, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestStreamingMatchesSingleNodeGrouped(t *testing.T) {
@@ -236,17 +244,23 @@ func TestStreamingIncrementalDelivery(t *testing.T) {
 			t.Fatal(err)
 		}
 		if i%10 == 9 {
-			job.Advance(temporal.Time(i * 5))
+			if err := job.Advance(temporal.Time(i * 5)); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if delivered == 0 {
 		t.Fatal("no incremental delivery before flush")
 	}
-	if job.Results() != nil {
-		t.Fatal("Results must be nil before Flush")
+	if _, err := job.Results(); err == nil {
+		t.Fatal("Results before Flush must error")
 	}
 	job.Flush()
-	if len(job.Results()) == 0 {
+	res, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
 		t.Fatal("no results after flush")
 	}
 }
@@ -288,6 +302,155 @@ func TestStreamingTemporalPartitioningFarOrigin(t *testing.T) {
 	}
 	if !temporal.EventsEqual(got, want) {
 		t.Fatalf("far-origin streaming diverges: %d vs %d events", len(got), len(want))
+	}
+}
+
+func TestStreamingMaxSpanFanoutTruncation(t *testing.T) {
+	// An event with a pathological lifetime must be capped at maxSpanFanout
+	// spans, increment route_truncated, and still yield correct output in
+	// every span that exists — i.e. the batch reference clipped at the cap.
+	scope := obs.New("test")
+	cfg := DefaultConfig()
+	cfg.Obs = scope
+	const width = 100
+	plan := temporal.Scan("evs", clickSchema()).
+		Exchange(temporal.PartitionBy{Temporal: true, SpanWidth: width}).
+		Count("C")
+	job, err := NewStreamingJob(plan,
+		map[string]*temporal.Schema{"evs": clickSchema()}, 4, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []temporal.Event
+	for i := 0; i < 60; i++ {
+		ev := temporal.PointEvent(temporal.Time(i*5), temporal.Row{
+			temporal.Int(int64(i * 5)), temporal.Int(int64(i % 4)), temporal.Int(int64(i % 3)),
+		})
+		ev.RE = ev.LE + 40
+		events = append(events, ev)
+		if i == 2 {
+			// The poison pill: a lifetime reaching ~1e9 would fan out to ten
+			// million span partitions without the cap.
+			events = append(events, temporal.Event{
+				LE: ev.LE, RE: 1_000_000_000,
+				Payload: temporal.Row{temporal.Int(int64(i * 5)), temporal.Int(99), temporal.Int(99)},
+			})
+		}
+	}
+	for i, e := range events {
+		if err := job.Feed("evs", e); err != nil {
+			t.Fatal(err)
+		}
+		if i%15 == 14 {
+			if err := job.Advance(e.LE); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	job.Flush()
+	got, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var truncated int64
+	for _, p := range scope.Snapshot() {
+		if p.Name == "route_truncated" {
+			truncated += p.Value
+		}
+	}
+	if truncated == 0 {
+		t.Fatal("route_truncated not incremented by the pathological lifetime")
+	}
+
+	ref, err := temporal.RunPlan(
+		temporal.Scan("evs", clickSchema()).Count("C"),
+		map[string][]temporal.Event{"evs": events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owned spans end where the fan-out cap cut routing off; beyond that
+	// no partition exists, so output is clipped there — but must be exact
+	// everywhere below.
+	capEnd := temporal.Time(maxSpanFanout) * width
+	var want []temporal.Event
+	beyond := false
+	for _, e := range ref {
+		if e.RE > capEnd {
+			beyond = true
+		}
+		if e.LE >= capEnd {
+			continue
+		}
+		if e.RE > capEnd {
+			e.RE = capEnd
+		}
+		want = append(want, e)
+	}
+	want = temporal.Coalesce(want)
+	if !beyond {
+		t.Fatal("reference output never crosses the cap; test is vacuous")
+	}
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("truncated run not clipped-but-correct: %d vs %d events", len(got), len(want))
+	}
+}
+
+func TestStreamingUseAfterFlush(t *testing.T) {
+	plan := temporal.Scan("clicks", clickSchema()).
+		Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+			return g.WithWindow(10).Count("C")
+		})
+	job, err := NewStreamingJob(plan, map[string]*temporal.Schema{"clicks": clickSchema()}, 2, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := temporal.PointEvent(1, temporal.Row{temporal.Int(1), temporal.Int(1), temporal.Int(1)})
+	if err := job.Feed("clicks", ev); err != nil {
+		t.Fatal(err)
+	}
+	job.Flush()
+	if err := job.Feed("clicks", ev); !errors.Is(err, ErrFlushed) {
+		t.Fatalf("Feed after Flush: err = %v, want ErrFlushed", err)
+	}
+	if err := job.FeedBatch("clicks", []temporal.Event{ev}); !errors.Is(err, ErrFlushed) {
+		t.Fatalf("FeedBatch after Flush: err = %v, want ErrFlushed", err)
+	}
+	if err := job.Advance(5); !errors.Is(err, ErrFlushed) {
+		t.Fatalf("Advance after Flush: err = %v, want ErrFlushed", err)
+	}
+	before, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Flush() // idempotent: must not double-drain or panic
+	after, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.EventsEqual(before, after) {
+		t.Fatal("second Flush changed results")
+	}
+}
+
+func TestStreamingJobValidatesFragmentsUpFront(t *testing.T) {
+	// A fragment root that cannot compile (one source scanned with two
+	// conflicting schemas) must fail NewStreamingJob, not panic mid-feed
+	// when the first lazy partition spins up.
+	schA := temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "K", Kind: temporal.KindInt},
+	)
+	schB := temporal.NewSchema(
+		temporal.Field{Name: "Time", Kind: temporal.KindInt},
+		temporal.Field{Name: "K", Kind: temporal.KindInt},
+		temporal.Field{Name: "X", Kind: temporal.KindInt},
+	)
+	plan := temporal.Scan("s", schA).
+		Join(temporal.Scan("s", schB).WithWindow(5), []string{"K"}, []string{"K"}, nil)
+	if _, err := NewStreamingJob(plan, map[string]*temporal.Schema{"s": schA}, 2, DefaultConfig(), nil); err == nil {
+		t.Fatal("conflicting scan schemas must fail NewStreamingJob up front")
 	}
 }
 

@@ -78,6 +78,9 @@ type Config struct {
 	// fragment share the scope, so counts aggregate across the cluster.
 	// Nil disables instrumentation.
 	Obs *obs.Scope
+	// Crash configures deterministic partition crash injection in
+	// streaming jobs (see CrashConfig). The zero value disables it.
+	Crash CrashConfig
 }
 
 // DefaultConfig mirrors the defaults used throughout the evaluation.

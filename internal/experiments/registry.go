@@ -52,6 +52,7 @@ var registry = []Experiment{
 	{"botstats", "§IV-B.1: bot population, activity share and signal dilution", BotStats},
 	{"failures", "§III-C.1: repeatability and cost under reducer failures", FailureRecovery},
 	{"shuffle", "parallel map/shuffle path vs serial reference: speedup and determinism", Shuffle},
+	{"chaos", "fault-tolerant streaming: checkpoint/replay recovery under injected partition crashes", StreamingChaos},
 }
 
 // All returns every experiment in presentation order.

@@ -295,6 +295,7 @@ type mapTask struct {
 	bytes   int     // shuffle bytes produced (RowBytes per destination copy)
 	dups    int     // shuffle rows produced (>= len(rows) under MultiPartition)
 	stat    TaskStat
+	err     error // user partition-fn panic, isolated by the worker
 }
 
 // workers resolves the worker-pool size for a phase with n parallel
@@ -364,22 +365,32 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 				}
 				t := tasks[i]
 				t0 := time.Now()
-				t.buckets = make([][]Row, nparts)
-				for _, r := range t.rows {
-					b := RowBytes(r)
-					if s.MultiPartition != nil {
-						for _, p := range s.MultiPartition(r, t.src, nparts) {
-							t.buckets[p] = append(t.buckets[p], r)
-							t.dups++
-							t.bytes += b
+				// Isolate user partition-fn panics: one poisoned row must
+				// fail the job with a diagnosable error, not kill the
+				// process (and every other in-flight task) with it.
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							t.err = fmt.Errorf("mapreduce: stage %s: map task %d panicked: %v", s.Name, i, rec)
 						}
-						continue
+					}()
+					t.buckets = make([][]Row, nparts)
+					for _, r := range t.rows {
+						b := RowBytes(r)
+						if s.MultiPartition != nil {
+							for _, p := range s.MultiPartition(r, t.src, nparts) {
+								t.buckets[p] = append(t.buckets[p], r)
+								t.dups++
+								t.bytes += b
+							}
+							continue
+						}
+						p := int(s.Partition(r, t.src) % uint64(nparts))
+						t.buckets[p] = append(t.buckets[p], r)
+						t.dups++
+						t.bytes += b
 					}
-					p := int(s.Partition(r, t.src) % uint64(nparts))
-					t.buckets[p] = append(t.buckets[p], r)
-					t.dups++
-					t.bytes += b
-				}
+				}()
 				t.stat = TaskStat{
 					Stage:     s.Name,
 					Partition: i,
@@ -391,6 +402,11 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 		}()
 	}
 	mwg.Wait()
+	for _, t := range tasks {
+		if t.err != nil {
+			return stat, t.err
+		}
+	}
 
 	// Deterministic concatenation: parts[p][src] is the tasks' buckets for
 	// (p, src) joined in task-creation order — byte-identical to the serial
@@ -471,6 +487,7 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 			defer func() { <-sem }()
 			res := result{part: p, stat: TaskStat{Stage: s.Name, Partition: p, Rows: n}}
 			succeeded := false
+			var lastPanic any
 			for attempt := 1; attempt <= c.Cfg.MaxAttempts; attempt++ {
 				res.stat.Attempts = attempt
 				var out []Row
@@ -478,12 +495,25 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 				fail := c.injectedFailure(s.Name, p, attempt)
 				emit := func(r Row) { out = append(out, r) }
 				var err error
-				if s.ReduceRuns != nil {
-					err = s.ReduceRuns(p, parts[p], runs[p], emit)
-				} else {
-					err = s.Reduce(p, parts[p], emit)
-				}
-				if fail {
+				panicked := false
+				// Isolate user reducer panics: a panicking reducer is a
+				// failed attempt — output discarded, time charged, task
+				// restarted — exactly like an injected machine failure,
+				// instead of taking down the whole process.
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							panicked = true
+							lastPanic = rec
+						}
+					}()
+					if s.ReduceRuns != nil {
+						err = s.ReduceRuns(p, parts[p], runs[p], emit)
+					} else {
+						err = s.Reduce(p, parts[p], emit)
+					}
+				}()
+				if fail || panicked {
 					// The attempt's partial output is discarded, exactly
 					// as M-R discards output of failed reducers; the task
 					// is then restarted from scratch (§III-C.1). The time
@@ -502,7 +532,11 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 				break
 			}
 			if !succeeded && res.err == nil {
-				res.err = fmt.Errorf("partition %d failed after %d attempts", p, c.Cfg.MaxAttempts)
+				if lastPanic != nil {
+					res.err = fmt.Errorf("partition %d failed after %d attempts (last panic: %v)", p, c.Cfg.MaxAttempts, lastPanic)
+				} else {
+					res.err = fmt.Errorf("partition %d failed after %d attempts", p, c.Cfg.MaxAttempts)
+				}
 			}
 			results[p] = res
 		}(p, n)

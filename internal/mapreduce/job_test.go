@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -244,6 +245,80 @@ func TestReducerErrorPropagates(t *testing.T) {
 	}
 	if _, err := c.Run(stage); err == nil {
 		t.Fatal("reducer error must fail the job")
+	}
+}
+
+func TestPanickingReducerIsolated(t *testing.T) {
+	// A reducer that panics on its first attempts must be retried like an
+	// injected machine failure — output intact, failure surfaced in
+	// StageStat.Failures with RetryTime charged — not crash the process.
+	c := NewCluster(Config{Machines: 2, MaxAttempts: 5})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(20)))
+	attempts := 0
+	base := sumStage("in", "out", 1)
+	inner := base.Reduce
+	base.Reduce = func(part int, in [][]Row, emit func(Row)) error {
+		attempts++
+		if attempts <= 2 {
+			panic("poison row")
+		}
+		return inner(part, in, emit)
+	}
+	stat, err := c.Run(base)
+	if err != nil {
+		t.Fatalf("recoverable panics must not fail the job: %v", err)
+	}
+	expectSums(t, c.FS, "out", 20)
+	failures := 0
+	var retry time.Duration
+	for _, s := range stat.Stages {
+		failures += s.Failures
+		retry += s.TotalRetryTime()
+	}
+	if failures != 2 {
+		t.Fatalf("Failures = %d, want 2 (one per panicked attempt)", failures)
+	}
+	if retry <= 0 {
+		t.Fatal("panicked attempts must be charged RetryTime")
+	}
+}
+
+func TestAlwaysPanickingReducerFailsJob(t *testing.T) {
+	c := NewCluster(Config{Machines: 1, MaxAttempts: 3})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(5)))
+	stage := Stage{
+		Name: "boom", Inputs: []string{"in"}, Output: "out", OutSchema: kvSchema(),
+		NumPartitions: 1,
+		Partition:     func(Row, int) uint64 { return 0 },
+		Reduce: func(int, [][]Row, func(Row)) error {
+			panic("always")
+		},
+	}
+	_, err := c.Run(stage)
+	if err == nil {
+		t.Fatal("an always-panicking reducer must exhaust attempts and fail the job")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("job error should carry the panic message, got: %v", err)
+	}
+}
+
+func TestPanickingPartitionFnFailsJobCleanly(t *testing.T) {
+	c := NewCluster(Config{Machines: 2})
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(10)))
+	stage := sumStage("in", "out", 2)
+	stage.Partition = func(r Row, src int) uint64 {
+		if r[1].AsInt() == 7 {
+			panic("poison row in map")
+		}
+		return uint64(r[0].AsInt())
+	}
+	_, err := c.Run(stage)
+	if err == nil {
+		t.Fatal("a panicking partition fn must fail the job with an error")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("job error should carry the panic message, got: %v", err)
 	}
 }
 

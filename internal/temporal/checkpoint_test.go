@@ -1,0 +1,354 @@
+package temporal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// flattenSorted interleaves per-source feeds into one globally LE-ordered
+// sequence (stable tie-break by source name), the order a checkpoint test
+// drives an engine in.
+func flattenSorted(feeds map[string][]Event) []SourceEvent {
+	var all []SourceEvent
+	for src, evs := range feeds {
+		for _, e := range evs {
+			all = append(all, SourceEvent{Source: src, Event: e})
+		}
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0; j-- {
+			a, b := all[j-1], all[j]
+			if b.Event.LE < a.Event.LE || (b.Event.LE == a.Event.LE && b.Source < a.Source) {
+				all[j-1], all[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return all
+}
+
+// checkpointRoundtrip is the tentpole property: feed a prefix, snapshot,
+// restore into a fresh engine, feed the suffix — combined output must
+// match the uninterrupted run exactly. It also asserts the encoding's
+// determinism (double-snapshot byte equality) and losslessness
+// (snapshot ∘ restore ∘ snapshot is the identity on bytes).
+func checkpointRoundtrip(t *testing.T, mk func() *Plan, feeds map[string][]Event, split, ctiEvery int) {
+	t.Helper()
+	all := flattenSorted(feeds)
+	if split < 0 || split > len(all) {
+		t.Fatalf("bad split %d for %d events", split, len(all))
+	}
+	drive := func(eng *Engine, evs []SourceEvent, base int) {
+		for i, se := range evs {
+			eng.Feed(se.Source, se.Event)
+			if ctiEvery > 0 && (base+i+1)%ctiEvery == 0 {
+				eng.Advance(se.Event.LE)
+			}
+		}
+	}
+
+	clean := &Collector{}
+	e0, err := NewEngine(mk(), WithSink(clean), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(e0, all, 0)
+	e0.Flush()
+
+	// Interrupted run: both engine incarnations share one sink, so the
+	// combined emission stream is directly comparable.
+	got := &Collector{}
+	e1, err := NewEngine(mk(), WithSink(got), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(e1, all[:split], 0)
+	snap := e1.Checkpoint()
+	if !bytes.Equal(snap, e1.Checkpoint()) {
+		t.Fatal("checkpoint encoding is nondeterministic: two snapshots of one state differ")
+	}
+	e2, err := RestoreEngine(mk(), snap, WithSink(got), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatalf("restore after %d of %d events: %v", split, len(all), err)
+	}
+	if resnap := e2.Checkpoint(); !bytes.Equal(resnap, snap) {
+		t.Fatalf("restore is lossy: re-snapshot differs (%d vs %d bytes)", len(resnap), len(snap))
+	}
+	drive(e2, all[split:], split)
+	e2.Flush()
+
+	want := Coalesce(append([]Event(nil), clean.Events...))
+	have := Coalesce(append([]Event(nil), got.Events...))
+	if !EventsEqual(have, want) {
+		t.Fatalf("split at %d/%d diverges: %d events, want %d", split, len(all), len(have), len(want))
+	}
+}
+
+// sweepSplits exercises a plan across several prefix lengths and CTI
+// cadences, including a checkpoint right after a punctuation (cadence
+// divides the split) and one with no punctuation at all.
+func sweepSplits(t *testing.T, mk func() *Plan, feeds map[string][]Event) {
+	t.Helper()
+	n := len(flattenSorted(feeds))
+	for _, ctiEvery := range []int{0, 5, 7} {
+		for _, split := range []int{0, 1, n / 3, n / 2, n - 1, n} {
+			if split < 0 {
+				continue
+			}
+			checkpointRoundtrip(t, mk, feeds, split, ctiEvery)
+		}
+	}
+}
+
+func TestCheckpointWindowedAggregates(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	events := genEvents(r, 60)
+	aggs := map[string]func() *Plan{
+		"count": func() *Plan { return Scan("in", propSchema()).WithWindow(9).Count("C") },
+		"sum":   func() *Plan { return Scan("in", propSchema()).WithWindow(9).Sum("V", "S") },
+		"avg":   func() *Plan { return Scan("in", propSchema()).WithWindow(9).Avg("V", "A") },
+		"min":   func() *Plan { return Scan("in", propSchema()).WithWindow(9).Min("V", "M") },
+		"max":   func() *Plan { return Scan("in", propSchema()).WithWindow(9).Max("V", "M") },
+	}
+	for name, mk := range aggs {
+		t.Run(name, func(t *testing.T) {
+			sweepSplits(t, mk, map[string][]Event{"in": events})
+		})
+	}
+}
+
+func TestCheckpointHoppingWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	events := genEvents(r, 50)
+	mk := func() *Plan { return Scan("in", propSchema()).WithHop(8, 3).Count("C") }
+	sweepSplits(t, mk, map[string][]Event{"in": events})
+}
+
+func TestCheckpointGroupApply(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	events := genEvents(r, 70)
+	mk := func() *Plan {
+		return Scan("in", propSchema()).
+			GroupApply([]string{"V"}, func(g *Plan) *Plan { return g.WithWindow(12).Count("C") })
+	}
+	sweepSplits(t, mk, map[string][]Event{"in": events})
+}
+
+func TestCheckpointTemporalJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	feeds := map[string][]Event{
+		"l": genEvents(r, 35),
+		"r": genEvents(r, 35),
+	}
+	mk := func() *Plan {
+		return Scan("l", propSchema()).WithWindow(7).
+			Join(Scan("r", propSchema()).WithWindow(7), []string{"V"}, []string{"V"}, nil)
+	}
+	sweepSplits(t, mk, feeds)
+}
+
+func TestCheckpointAntiSemiJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	feeds := map[string][]Event{
+		"l": genEvents(r, 40),
+		"r": genEvents(r, 20),
+	}
+	mk := func() *Plan {
+		return Scan("l", propSchema()).
+			AntiSemiJoin(Scan("r", propSchema()).WithWindow(6), []string{"V"}, []string{"V"})
+	}
+	sweepSplits(t, mk, feeds)
+}
+
+func TestCheckpointUnion(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	events := genEvents(r, 50)
+	mk := func() *Plan {
+		src := Scan("in", propSchema())
+		return src.Where(ColGtInt("V", 4)).Union(src.Where(Not(ColGtInt("V", 4))))
+	}
+	sweepSplits(t, mk, map[string][]Event{"in": events})
+}
+
+func TestCheckpointUDO(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	events := genEvents(r, 45)
+	mk := func() *Plan {
+		return Scan("in", propSchema()).Apply(UDOSpec{
+			Name: "sum", Window: 6, Hop: 3,
+			Out: NewSchema(Field{Name: "S", Kind: KindInt}),
+			Fn: func(ws, we Time, rows []Row) []Row {
+				var s int64
+				for _, row := range rows {
+					s += row[1].AsInt()
+				}
+				return []Row{{Int(s)}}
+			},
+		})
+	}
+	sweepSplits(t, mk, map[string][]Event{"in": events})
+}
+
+func TestCheckpointRandomSplitsProperty(t *testing.T) {
+	// The acceptance property at scale: random workloads, random splits,
+	// the composite plan (GroupApply over windowed aggregates feeding a
+	// second aggregate) that exercises nesting.
+	mk := func() *Plan {
+		return Scan("in", propSchema()).
+			GroupApply([]string{"V"}, func(g *Plan) *Plan { return g.WithWindow(10).Sum("V", "S") }).
+			ToPoint().
+			WithWindow(15).Count("N")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(1000 + seed))
+		events := genEvents(r, 30+r.Intn(50))
+		split := r.Intn(len(events) + 1)
+		ctiEvery := r.Intn(9) // 0 = none
+		checkpointRoundtrip(t, mk, map[string][]Event{"in": events}, split, ctiEvery)
+	}
+}
+
+func TestCheckpointRestoresCTIClock(t *testing.T) {
+	mk := func() *Plan { return Scan("in", propSchema()).WithWindow(5).Count("C") }
+	e1, err := NewEngine(mk(), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Feed("in", PointEvent(3, Row{Int(3), Int(1)}))
+	e1.Advance(50)
+	snap := e1.Checkpoint()
+	e2, err := RestoreEngine(mk(), snap, WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.lastCTI != e1.lastCTI || e2.lastCTI != 50 {
+		t.Fatalf("CTI clock not restored: got %d, want %d", e2.lastCTI, e1.lastCTI)
+	}
+}
+
+func TestCheckpointReorderOp(t *testing.T) {
+	// The reorder buffer is not plan-addressable, so roundtrip it directly:
+	// disordered feed, snapshot mid-stream, restore, finish — output must
+	// match the uninterrupted run.
+	feed := []Event{
+		PointEvent(10, Row{Int(10)}),
+		PointEvent(7, Row{Int(7)}),
+		PointEvent(12, Row{Int(12)}),
+		PointEvent(9, Row{Int(9)}),
+		PointEvent(15, Row{Int(15)}),
+		PointEvent(13, Row{Int(13)}),
+	}
+	clean := &Collector{}
+	r0 := newReorder(5, clean)
+	for _, e := range feed {
+		r0.OnEvent(e)
+	}
+	r0.OnFlush()
+
+	for split := 0; split <= len(feed); split++ {
+		got := &Collector{}
+		r1 := newReorder(5, got)
+		for _, e := range feed[:split] {
+			r1.OnEvent(e)
+		}
+		var w SnapshotWriter
+		r1.Snapshot(&w)
+		snap := w.Bytes()
+		r2 := newReorder(5, got)
+		if err := r2.Restore(NewSnapshotReader(snap)); err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		var w2 SnapshotWriter
+		r2.Snapshot(&w2)
+		if !bytes.Equal(w2.Bytes(), snap) {
+			t.Fatalf("split %d: reorder re-snapshot differs", split)
+		}
+		for _, e := range feed[split:] {
+			r2.OnEvent(e)
+		}
+		r2.OnFlush()
+		if !EventsEqual(Coalesce(append([]Event(nil), got.Events...)),
+			Coalesce(append([]Event(nil), clean.Events...))) {
+			t.Fatalf("split %d: reorder roundtrip diverges", split)
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	mkA := func() *Plan { return Scan("in", propSchema()).WithWindow(5).Count("C") }
+	// Plan B has a different stateful-operator population.
+	mkB := func() *Plan {
+		return Scan("in", propSchema()).
+			GroupApply([]string{"V"}, func(g *Plan) *Plan { return g.WithWindow(5).Count("C") })
+	}
+	e1, err := NewEngine(mkA(), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Feed("in", PointEvent(1, Row{Int(1), Int(2)}))
+	snap := e1.Checkpoint()
+
+	if _, err := RestoreEngine(mkB(), snap, WithCTIPeriod(0)); err == nil {
+		t.Fatal("restoring into a mismatched plan must error")
+	}
+	if _, err := RestoreEngine(mkA(), snap[:len(snap)-1], WithCTIPeriod(0)); err == nil {
+		t.Fatal("restoring a truncated snapshot must error")
+	}
+	if _, err := RestoreEngine(mkA(), append(append([]byte(nil), snap...), 0xFF), WithCTIPeriod(0)); err == nil {
+		t.Fatal("restoring a snapshot with trailing bytes must error")
+	}
+	e2, err := NewEngine(mkA(), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Feed("in", PointEvent(1, Row{Int(1), Int(2)}))
+	if err := e2.Restore(snap); err == nil {
+		t.Fatal("Restore on an engine that has processed input must error")
+	}
+}
+
+// FuzzCheckpointRoundtrip fuzzes two properties at once: (1) for states
+// reached by feeding decoded events, snapshot → restore → snapshot is the
+// byte identity; (2) arbitrary bytes fed to RestoreEngine never panic —
+// they either restore cleanly or fail with an error.
+func FuzzCheckpointRoundtrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xE7, 0x00, 0x00})
+	f.Add([]byte{})
+	mk := func() *Plan {
+		return Scan("in", propSchema()).
+			GroupApply([]string{"V"}, func(g *Plan) *Plan { return g.WithWindow(8).Sum("V", "S") })
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (1) Roundtrip a state derived from the fuzz bytes.
+		eng, err := NewEngine(mk(), WithCTIPeriod(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := Time(0)
+		for i, b := range data {
+			if i >= 64 {
+				break
+			}
+			tm += Time(b % 5)
+			eng.Feed("in", PointEvent(tm, Row{Int(int64(tm)), Int(int64(b % 7))}))
+			if b%11 == 0 {
+				eng.Advance(tm)
+			}
+		}
+		snap := eng.Checkpoint()
+		e2, err := RestoreEngine(mk(), snap, WithCTIPeriod(0))
+		if err != nil {
+			t.Fatalf("restore of a live checkpoint failed: %v", err)
+		}
+		if !bytes.Equal(e2.Checkpoint(), snap) {
+			t.Fatal("snapshot→restore→snapshot is not the byte identity")
+		}
+		// (2) Arbitrary bytes must never panic the decoder.
+		if e3, err := RestoreEngine(mk(), data, WithCTIPeriod(0)); err == nil && e3 == nil {
+			t.Fatal("nil engine without error")
+		}
+	})
+}

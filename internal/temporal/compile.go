@@ -14,6 +14,11 @@ type Pipeline struct {
 	schemas map[string]*Schema
 	out     *Schema
 	binputs map[string]BatchSink // batch views of inputs, resolved lazily
+	// ckpts lists the pipeline's stateful operators in deterministic
+	// pre-order DFS plan order — the walk Engine.Checkpoint/Restore use, so
+	// a snapshot taken from one compile of a plan restores into another.
+	// Stateless operators simply never appear here.
+	ckpts []Checkpointer
 }
 
 // Input returns the entry sink for the named source.
@@ -86,6 +91,7 @@ func CompileObserved(root *Plan, out Sink, scope *obs.Scope) (*Pipeline, error) 
 	c := &compiler{
 		parents: make(map[*Plan][]parentRef),
 		ops:     make(map[*Plan][]Sink),
+		insts:   make(map[*Plan]any),
 		root:    root,
 		rootOut: out,
 		obs:     scope,
@@ -129,6 +135,13 @@ func CompileObserved(root *Plan, out Sink, scope *obs.Scope) (*Pipeline, error) 
 		pl.inputs[source] = in
 		pl.schemas[source] = leaves[0].Out
 	}
+	// Collect stateful operators in pre-order DFS plan order (build order
+	// above follows randomized map iteration and cannot be used).
+	walkInputs(root, func(n *Plan) {
+		if ck, ok := c.insts[n].(Checkpointer); ok {
+			pl.ckpts = append(pl.ckpts, ck)
+		}
+	})
 	return pl, nil
 }
 
@@ -140,6 +153,7 @@ type parentRef struct {
 type compiler struct {
 	parents map[*Plan][]parentRef
 	ops     map[*Plan][]Sink // node -> entry sink per input position
+	insts   map[*Plan]any    // node -> physical operator instance
 	root    *Plan
 	rootOut Sink
 	obs     *obs.Scope    // nil = no instrumentation
@@ -207,6 +221,7 @@ func (c *compiler) build(n *Plan) []Sink {
 		out = &meterOut{events: m.eventsOut, ctis: m.ctis, out: out}
 	}
 	entries, op := c.buildOp(n, out)
+	c.insts[n] = op
 	if m != nil {
 		m.sizer, _ = op.(stateSizer)
 		for i := range entries {
@@ -251,12 +266,12 @@ func (c *compiler) buildOp(n *Plan, out Sink) ([]Sink, any) {
 	case OpGroupApply:
 		keys := in.Indexes(n.Keys...)
 		sub := n.Sub
-		factory := func(groupOut Sink) Sink {
-			entry, err := compileSub(sub, groupOut)
+		factory := func(groupOut Sink) (Sink, []Checkpointer) {
+			entry, cks, err := compileSub(sub, groupOut)
 			if err != nil {
 				panic(err) // sub-plan validated at first compile; cannot fail per group
 			}
-			return entry
+			return entry, cks
 		}
 		g := newGroupApplyOp(keys, factory, sub.MaxWindow(), out)
 		return []Sink{g}, g
@@ -302,11 +317,14 @@ func walkInputs(root *Plan, visit func(*Plan)) {
 }
 
 // compileSub compiles a GroupApply sub-plan (rooted above an OpGroupInput
-// leaf) and returns the entry sink feeding the group's sub-stream.
-func compileSub(root *Plan, out Sink) (Sink, error) {
+// leaf) and returns the entry sink feeding the group's sub-stream plus the
+// sub-pipeline's stateful operators in pre-order DFS plan order (the order
+// groupApplyOp snapshots nest them in).
+func compileSub(root *Plan, out Sink) (Sink, []Checkpointer, error) {
 	c := &compiler{
 		parents: make(map[*Plan][]parentRef),
 		ops:     make(map[*Plan][]Sink),
+		insts:   make(map[*Plan]any),
 		root:    root,
 		rootOut: out,
 	}
@@ -321,11 +339,17 @@ func compileSub(root *Plan, out Sink) (Sink, error) {
 		}
 	})
 	if len(leaves) == 0 {
-		return nil, fmt.Errorf("temporal: sub-plan has no GroupInput leaf")
+		return nil, nil, fmt.Errorf("temporal: sub-plan has no GroupInput leaf")
 	}
 	sinks := make([]Sink, len(leaves))
 	for i, leaf := range leaves {
 		sinks[i] = c.outputSink(leaf)
 	}
-	return fanOut(sinks), nil
+	var cks []Checkpointer
+	walkInputs(root, func(n *Plan) {
+		if ck, ok := c.insts[n].(Checkpointer); ok {
+			cks = append(cks, ck)
+		}
+	})
+	return fanOut(sinks), cks, nil
 }

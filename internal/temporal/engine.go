@@ -1,6 +1,7 @@
 package temporal
 
 import (
+	"fmt"
 	"sort"
 
 	"timr/internal/obs"
@@ -24,6 +25,7 @@ type Engine struct {
 	// (state is bounded only by Flush).
 	CTIPeriod Time
 	lastCTI   Time
+	fed       bool    // any input seen; Restore on a fed engine is an error
 	feedBuf   []Event // reused run buffer for FeedSorted
 	feedBatch Batch   // reused batch header for FeedBatch/FeedSorted
 }
@@ -101,6 +103,7 @@ func (e *Engine) Pipeline() *Pipeline { return e.pipeline }
 
 // Feed pushes one event into the named source.
 func (e *Engine) Feed(source string, ev Event) {
+	e.fed = true
 	e.pipeline.Input(source).OnEvent(ev)
 	e.maybeCTI(ev.LE)
 }
@@ -115,6 +118,7 @@ func (e *Engine) Feed(source string, ev Event) {
 // The batch and its Events slice remain owned by the caller and may be
 // reused after the call returns.
 func (e *Engine) FeedBatch(source string, b *Batch) {
+	e.fed = true
 	in := e.pipeline.BatchInput(source)
 	// Snapshot the header: b may alias e.feedBatch (FeedSorted does), and
 	// mid-run punctuation below reuses that header for sub-batches.
@@ -176,12 +180,78 @@ func (e *Engine) maybeCTI(t Time) {
 
 // Advance broadcasts a CTI at time t to every source.
 func (e *Engine) Advance(t Time) {
+	e.fed = true
 	e.pipeline.AdvanceAll(t)
 	e.lastCTI = t
 }
 
 // Flush ends all inputs, draining buffered state.
-func (e *Engine) Flush() { e.pipeline.FlushAll() }
+func (e *Engine) Flush() {
+	e.fed = true
+	e.pipeline.FlushAll()
+}
+
+// Checkpoint serializes the engine's full operator state — every stateful
+// operator in the compiled pipeline, in deterministic plan order, plus the
+// CTI clock — into a self-contained byte snapshot. The encoding is
+// deterministic: two checkpoints of the same logical state are
+// byte-identical. Take checkpoints between input batches (operators are
+// quiescent then); the snapshot restores into a fresh engine compiled from
+// the same plan via RestoreEngine.
+func (e *Engine) Checkpoint() []byte {
+	var w SnapshotWriter
+	w.Byte(ckEngine)
+	w.Varint(e.lastCTI)
+	w.Uvarint(uint64(len(e.pipeline.ckpts)))
+	for _, ck := range e.pipeline.ckpts {
+		ck.Snapshot(&w)
+	}
+	return w.Bytes()
+}
+
+// Restore loads a Checkpoint snapshot into this engine. The engine must be
+// freshly built from the same plan and must not have processed any input;
+// on error the engine must be discarded.
+func (e *Engine) Restore(snap []byte) error {
+	if e.fed {
+		return fmt.Errorf("temporal: Restore on an engine that has processed input")
+	}
+	r := NewSnapshotReader(snap)
+	if err := r.Expect(ckEngine, "engine"); err != nil {
+		return err
+	}
+	lastCTI := r.Varint()
+	n := r.Count("pipeline operators")
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(e.pipeline.ckpts) {
+		return r.Failf("pipeline has %d stateful operators, snapshot has %d", len(e.pipeline.ckpts), n)
+	}
+	for _, ck := range e.pipeline.ckpts {
+		if err := ck.Restore(r); err != nil {
+			return err
+		}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	e.lastCTI = lastCTI
+	return nil
+}
+
+// RestoreEngine compiles plan into a fresh engine and loads a Checkpoint
+// snapshot taken from another engine compiled from the same plan.
+func RestoreEngine(plan *Plan, snap []byte, opts ...Option) (*Engine, error) {
+	eng, err := NewEngine(plan, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Restore(snap); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
 
 // Results returns the collected output, coalesced and sorted, when the
 // engine was built with an internal collector.

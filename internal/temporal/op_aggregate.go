@@ -1,14 +1,23 @@
 package temporal
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // aggState is the incremental state of one snapshot aggregate. Insert and
 // Remove must be exact inverses so that the sweep over snapshot boundaries
-// yields the same result regardless of event interleaving.
+// yields the same result regardless of event interleaving. snapshot and
+// restore serialize the accumulator itself (not a re-derivation from live
+// rows): float accumulators are order-sensitive, so re-inserting rows in
+// a canonical order would perturb sums by an ULP and break the exactness
+// of recovery.
 type aggState interface {
 	Insert(Row)
 	Remove(Row)
 	Result() Value
+	snapshot(w *SnapshotWriter)
+	restore(r *SnapshotReader)
 }
 
 // ---- Count ----
@@ -18,6 +27,9 @@ type countState struct{ n int64 }
 func (s *countState) Insert(Row)    { s.n++ }
 func (s *countState) Remove(Row)    { s.n-- }
 func (s *countState) Result() Value { return Int(s.n) }
+
+func (s *countState) snapshot(w *SnapshotWriter) { w.Varint(s.n) }
+func (s *countState) restore(r *SnapshotReader)  { s.n = r.Varint() }
 
 // ---- Sum / Avg ----
 
@@ -49,6 +61,18 @@ func (s *sumState) Result() Value {
 	return Int(s.i)
 }
 
+func (s *sumState) snapshot(w *SnapshotWriter) {
+	w.Varint(s.i)
+	w.Value(Float(s.f))
+}
+
+func (s *sumState) restore(r *SnapshotReader) {
+	s.i = r.Varint()
+	if v := r.Value(); v.Kind() == KindFloat {
+		s.f = v.AsFloat()
+	}
+}
+
 type avgState struct {
 	col int
 	n   int64
@@ -62,6 +86,18 @@ func (s *avgState) Result() Value {
 		return Float(0)
 	}
 	return Float(s.f / float64(s.n))
+}
+
+func (s *avgState) snapshot(w *SnapshotWriter) {
+	w.Varint(s.n)
+	w.Value(Float(s.f))
+}
+
+func (s *avgState) restore(r *SnapshotReader) {
+	s.n = r.Varint()
+	if v := r.Value(); v.Kind() == KindFloat {
+		s.f = v.AsFloat()
+	}
 }
 
 // ---- Min / Max ----
@@ -127,6 +163,38 @@ func (s *minMaxState) Result() Value {
 		heap.Pop(&s.h) // stale entry from a removed event
 	}
 	return Null
+}
+
+// snapshot writes the live multiset in value order. The lazily-cleaned
+// candidate heap is not serialized: it only ever holds a superset of the
+// live values, so rebuilding it with exactly one entry per distinct live
+// value is behaviorally equivalent (Result prunes stale entries lazily
+// either way).
+func (s *minMaxState) snapshot(w *SnapshotWriter) {
+	vals := make([]Value, 0, len(s.counts))
+	for v := range s.counts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	w.Uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		w.Value(v)
+		w.Varint(int64(s.counts[v]))
+	}
+}
+
+func (s *minMaxState) restore(r *SnapshotReader) {
+	n := r.Count("min/max multiset")
+	for i := 0; i < n && r.Err() == nil; i++ {
+		v := r.Value()
+		c := int(r.Varint())
+		if r.Err() != nil {
+			return
+		}
+		s.counts[v] = c
+		s.h.vals = append(s.h.vals, v)
+	}
+	heap.Init(&s.h)
 }
 
 func newAggState(kind AggKind, col int, colKind Kind) aggState {
@@ -242,6 +310,43 @@ func (a *aggregateOp) OnCTI(t Time) {
 func (a *aggregateOp) OnFlush() {
 	a.advanceTo(MaxTime)
 	a.out.OnFlush()
+}
+
+// Snapshot serializes the sweep position, the open-lifetime heap (in
+// canonical (re, row) order — a re-sorted expHeap is still a valid
+// min-heap, and expirations at equal re are removed together, so the
+// tie order is output-neutral) and the accumulator itself.
+func (a *aggregateOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckAggregate)
+	w.Varint(a.cur)
+	exp := append(expHeap(nil), a.exp...)
+	sort.Slice(exp, func(i, j int) bool {
+		if exp[i].re != exp[j].re {
+			return exp[i].re < exp[j].re
+		}
+		return compareRows(exp[i].row, exp[j].row) < 0
+	})
+	w.Uvarint(uint64(len(exp)))
+	for _, x := range exp {
+		w.Varint(x.re)
+		w.Row(x.row)
+	}
+	a.state.snapshot(w)
+}
+
+func (a *aggregateOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckAggregate, "aggregate"); err != nil {
+		return err
+	}
+	a.cur = r.Varint()
+	n := r.Count("aggregate expirations")
+	for i := 0; i < n && r.Err() == nil; i++ {
+		re := r.Varint()
+		a.exp = append(a.exp, expiration{re: re, row: r.Row()})
+	}
+	a.active = len(a.exp) // every open lifetime is one active event
+	a.state.restore(r)
+	return r.Err()
 }
 
 func maxTime(a, b Time) Time {

@@ -1,6 +1,9 @@
 package temporal
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // groupApplyOp routes each input event to a per-group instance of the
 // compiled sub-plan (paper §II-A.2, Figure 4) and re-establishes global
@@ -16,7 +19,7 @@ import "container/heap"
 // at t), so releasing staged events with LE < t is safe.
 type groupApplyOp struct {
 	keys    []int // key column positions in the input schema
-	factory func(out Sink) Sink
+	factory func(out Sink) (Sink, []Checkpointer)
 	groups  map[uint64][]*groupInstance
 	staged  eventHeap
 	out     Sink
@@ -42,11 +45,12 @@ type groupApplyOp struct {
 type groupInstance struct {
 	key     Row // key column values
 	entry   Sink
-	lastLE  Time // latest input event routed to this group
-	lastCTI Time // latest punctuation delivered to this group
+	ckpts   []Checkpointer // stateful ops of this instance's sub-pipeline
+	lastLE  Time           // latest input event routed to this group
+	lastCTI Time           // latest punctuation delivered to this group
 }
 
-func newGroupApplyOp(keys []int, factory func(out Sink) Sink, maxExtent Time, out Sink) *groupApplyOp {
+func newGroupApplyOp(keys []int, factory func(out Sink) (Sink, []Checkpointer), maxExtent Time, out Sink) *groupApplyOp {
 	return &groupApplyOp{
 		keys:          keys,
 		factory:       factory,
@@ -83,7 +87,7 @@ func (g *groupApplyOp) instance(r Row) *groupInstance {
 		key[i] = r[c]
 	}
 	inst := &groupInstance{key: key, lastLE: MinTime, lastCTI: MinTime}
-	inst.entry = g.factory(&stageSink{op: g, key: key})
+	inst.entry, inst.ckpts = g.factory(&stageSink{op: g, key: key})
 	g.groups[h] = append(g.groups[h], inst)
 	g.ninst++
 	return inst
@@ -148,6 +152,70 @@ func (g *groupApplyOp) OnFlush() {
 	}
 	g.release(MaxTime)
 	g.out.OnFlush()
+}
+
+// Snapshot serializes the broadcast clock, the staged output heap (in
+// canonical event order; a sorted slice is a valid min-heap), and every
+// group instance in key order — each instance being its key, its clocks,
+// and the recursive snapshots of its sub-pipeline's stateful operators.
+func (g *groupApplyOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckGroupApply)
+	w.Varint(g.lastBroadcast)
+	staged := append([]Event(nil), g.staged...)
+	SortEvents(staged)
+	w.Events(staged)
+	insts := make([]*groupInstance, 0, g.ninst)
+	for _, bucket := range g.groups {
+		insts = append(insts, bucket...)
+	}
+	sort.Slice(insts, func(i, j int) bool {
+		return compareRows(insts[i].key, insts[j].key) < 0
+	})
+	w.Uvarint(uint64(len(insts)))
+	for _, inst := range insts {
+		w.Row(inst.key)
+		w.Varint(inst.lastLE)
+		w.Varint(inst.lastCTI)
+		w.Uvarint(uint64(len(inst.ckpts)))
+		for _, ck := range inst.ckpts {
+			ck.Snapshot(w)
+		}
+	}
+}
+
+func (g *groupApplyOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckGroupApply, "group-apply"); err != nil {
+		return err
+	}
+	g.lastBroadcast = r.Varint()
+	g.staged = eventHeap(r.Events())
+	n := r.Count("group instances")
+	for i := 0; i < n && r.Err() == nil; i++ {
+		key := r.Row()
+		lastLE := r.Varint()
+		lastCTI := r.Varint()
+		nck := r.Count("group sub-pipeline operators")
+		if r.Err() != nil {
+			return r.Err()
+		}
+		inst := &groupInstance{key: key, lastLE: lastLE, lastCTI: lastCTI}
+		inst.entry, inst.ckpts = g.factory(&stageSink{op: g, key: key})
+		if nck != len(inst.ckpts) {
+			return r.Failf("group sub-pipeline has %d stateful operators, snapshot has %d", len(inst.ckpts), nck)
+		}
+		for _, ck := range inst.ckpts {
+			if err := ck.Restore(r); err != nil {
+				return err
+			}
+		}
+		h := HashSeed
+		for _, v := range key {
+			h = v.Hash(h)
+		}
+		g.groups[h] = append(g.groups[h], inst)
+		g.ninst++
+	}
+	return r.Err()
 }
 
 // release forwards staged output events with LE < t (future group output

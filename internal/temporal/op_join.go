@@ -127,6 +127,28 @@ func (m *merger) bufferedLen() int {
 		(len(m.bufs[sideRight]) - m.heads[sideRight])
 }
 
+// snapshot serializes watermarks, flush flags, the unconsumed FIFO
+// suffix of each side (verbatim — arrival order is the merge order for
+// ties within a side) and the forwarded-CTI clock.
+func (m *merger) snapshot(w *SnapshotWriter) {
+	for side := 0; side < 2; side++ {
+		w.Varint(m.wm[side])
+		w.Bool(m.flushed[side])
+		w.Events(m.bufs[side][m.heads[side]:])
+	}
+	w.Varint(m.lastCTI)
+}
+
+func (m *merger) restore(r *SnapshotReader) {
+	for side := 0; side < 2; side++ {
+		m.wm[side] = r.Varint()
+		m.flushed[side] = r.Bool()
+		m.bufs[side] = r.Events()
+		m.heads[side] = 0
+	}
+	m.lastCTI = r.Varint()
+}
+
 func (m *merger) forwardCTI() {
 	t := minTime(m.bound(sideLeft), m.bound(sideRight))
 	if t > m.lastCTI && t != MaxTime {
@@ -153,6 +175,19 @@ func (u *unionOp) onMerged(_ int, e Event) { u.out.OnEvent(e) }
 func (u *unionOp) onMergedCTI(t Time)      { u.out.OnCTI(t) }
 func (u *unionOp) onMergedFlush()          { u.out.OnFlush() }
 func (u *unionOp) liveState() int          { return u.m.bufferedLen() }
+
+func (u *unionOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckUnion)
+	u.m.snapshot(w)
+}
+
+func (u *unionOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckUnion, "union"); err != nil {
+		return err
+	}
+	u.m.restore(r)
+	return r.Err()
+}
 
 // ---- TemporalJoin ----
 
@@ -215,6 +250,28 @@ func (s *synopsis) expire(t Time) {
 			s.buckets[h] = kept
 		}
 		s.size += len(kept) - len(bucket)
+	}
+}
+
+// snapshot serializes the synopsis contents in canonical event order.
+// Restore re-inserts (recomputing hashes), so bucket order may differ
+// from the original arrival order — harmless, because probe matches at
+// one LE differ only in emission order among equal-LE outputs, which the
+// engine's order contract does not distinguish.
+func (s *synopsis) snapshot(w *SnapshotWriter) {
+	evs := make([]Event, 0, s.size)
+	for _, bucket := range s.buckets {
+		for _, ent := range bucket {
+			evs = append(evs, ent.e)
+		}
+	}
+	SortEvents(evs)
+	w.Events(evs)
+}
+
+func (s *synopsis) restore(r *SnapshotReader) {
+	for _, e := range r.Events() {
+		s.insert(e)
 	}
 }
 
@@ -282,6 +339,25 @@ func (j *temporalJoinOp) liveState() int {
 	return j.m.bufferedLen() + j.syn[sideLeft].size + j.syn[sideRight].size
 }
 
+func (j *temporalJoinOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckJoin)
+	j.m.snapshot(w)
+	j.syn[sideLeft].snapshot(w)
+	j.syn[sideRight].snapshot(w)
+	w.Varint(j.lastTidy)
+}
+
+func (j *temporalJoinOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckJoin, "temporal join"); err != nil {
+		return err
+	}
+	j.m.restore(r)
+	j.syn[sideLeft].restore(r)
+	j.syn[sideRight].restore(r)
+	j.lastTidy = r.Varint()
+	return r.Err()
+}
+
 // ---- AntiSemiJoin ----
 
 // antiSemiJoinOp emits left point events with no matching right event
@@ -332,3 +408,20 @@ func (a *antiSemiJoinOp) onMergedCTI(t Time) {
 
 func (a *antiSemiJoinOp) onMergedFlush() { a.out.OnFlush() }
 func (a *antiSemiJoinOp) liveState() int { return a.m.bufferedLen() + a.syn.size }
+
+func (a *antiSemiJoinOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckAntiSemi)
+	a.m.snapshot(w)
+	a.syn.snapshot(w)
+	w.Varint(a.lastTidy)
+}
+
+func (a *antiSemiJoinOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckAntiSemi, "anti-semi-join"); err != nil {
+		return err
+	}
+	a.m.restore(r)
+	a.syn.restore(r)
+	a.lastTidy = r.Varint()
+	return r.Err()
+}

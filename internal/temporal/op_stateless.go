@@ -1,6 +1,9 @@
 package temporal
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // The stateless hot-path operators implement both Sink (per-event) and
 // BatchSink (batch-at-a-time). The batch methods are the primary path:
@@ -257,6 +260,53 @@ func (a *alterLifetimeOp) isContinuation(e *Event) bool {
 
 func (a *alterLifetimeOp) liveState() int { return a.npending }
 
+// Snapshot serializes the LifePoint continuation table in canonical
+// (re, payload) order. Bucket-internal order is behavior-neutral: two
+// entries can both match a future event only when they are identical, so
+// which one gets extended is indistinguishable downstream.
+func (a *alterLifetimeOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckAlterLife)
+	ents := make([]pointPending, 0, a.npending)
+	for _, bucket := range a.pending {
+		ents = append(ents, bucket...)
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].re != ents[j].re {
+			return ents[i].re < ents[j].re
+		}
+		return compareRows(ents[i].payload, ents[j].payload) < 0
+	})
+	w.Uvarint(uint64(len(ents)))
+	for _, p := range ents {
+		w.Varint(p.re)
+		w.Row(p.payload)
+	}
+}
+
+func (a *alterLifetimeOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckAlterLife, "alter-lifetime"); err != nil {
+		return err
+	}
+	n := r.Count("pending points")
+	for i := 0; i < n && r.Err() == nil; i++ {
+		re := r.Varint()
+		payload := r.Row()
+		if r.Err() != nil {
+			break
+		}
+		if a.pending == nil {
+			a.pending = make(map[uint64][]pointPending)
+		}
+		h := HashSeed
+		for _, v := range payload {
+			h = v.Hash(h)
+		}
+		a.pending[h] = append(a.pending[h], pointPending{re: re, payload: payload})
+		a.npending++
+	}
+	return r.Err()
+}
+
 func (a *alterLifetimeOp) shiftCTI(t Time) Time {
 	if a.mode == LifeShift && a.shift < 0 {
 		t += a.shift
@@ -369,6 +419,27 @@ func (r *reorderOp) OnFlush() {
 }
 
 func (r *reorderOp) liveState() int { return len(r.buf) }
+
+// Snapshot serializes the watermark and the buffered events in canonical
+// order. A sorted eventHeap slice is itself a valid min-heap, and release
+// order is fully determined by the heap's Less, so the rebuilt buffer
+// releases the identical sequence.
+func (r *reorderOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckReorder)
+	w.Varint(r.wm)
+	buf := append([]Event(nil), r.buf...)
+	SortEvents(buf)
+	w.Events(buf)
+}
+
+func (r *reorderOp) Restore(rd *SnapshotReader) error {
+	if err := rd.Expect(ckReorder, "reorder"); err != nil {
+		return err
+	}
+	r.wm = rd.Varint()
+	r.buf = eventHeap(rd.Events())
+	return rd.Err()
+}
 
 func (r *reorderOp) release(upto Time) {
 	for len(r.buf) > 0 && r.buf[0].LE <= upto {

@@ -23,6 +23,27 @@ func newHoppingUDOOp(spec *UDOSpec, out Sink) *hoppingUDOOp {
 
 func (u *hoppingUDOOp) liveState() int { return len(u.buf) }
 
+// Snapshot preserves the buffer verbatim: its physical order is the row
+// order handed to the user function, which must survive a restore exactly.
+func (u *hoppingUDOOp) Snapshot(w *SnapshotWriter) {
+	w.Byte(ckUDO)
+	w.Events(u.buf)
+	w.Varint(u.nextEnd)
+	w.Bool(u.started)
+	w.Varint(u.lastLE)
+}
+
+func (u *hoppingUDOOp) Restore(r *SnapshotReader) error {
+	if err := r.Expect(ckUDO, "hopping UDO"); err != nil {
+		return err
+	}
+	u.buf = r.Events()
+	u.nextEnd = r.Varint()
+	u.started = r.Bool()
+	u.lastLE = r.Varint()
+	return r.Err()
+}
+
 func (u *hoppingUDOOp) OnEvent(e Event) {
 	// Windows ending at or before e.LE are complete: any future event has
 	// LE >= e.LE and so cannot fall in [t-w, t) for t <= e.LE.

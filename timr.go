@@ -168,6 +168,7 @@ var (
 	EventsEqual   = temporal.EventsEqual
 	Coalesce      = temporal.Coalesce
 	NewEngine     = temporal.NewEngine
+	RestoreEngine = temporal.RestoreEngine
 	WithSink      = temporal.WithSink
 	WithObs       = temporal.WithObs
 	WithCTIPeriod = temporal.WithCTIPeriod
@@ -243,6 +244,9 @@ type (
 	// StreamingJob runs a fragmented plan as a live pipelined dataflow
 	// (the paper's §VII "MapReduce Online" direction).
 	StreamingJob = core.StreamingJob
+	// CrashConfig enables deterministic partition crash injection in
+	// streaming jobs; recovery restores checkpoints and replays logs.
+	CrashConfig = core.CrashConfig
 )
 
 // Framework constructors.
