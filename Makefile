@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations chaos check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos spillgate check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -38,10 +38,17 @@ deprecations:
 chaos:
 	$(GO) test -race -count=1 -run 'TestStreamingChaos|TestCheckpoint' ./internal/core/ ./internal/temporal/
 
+# Out-of-core equivalence under the race detector: the BT pipeline with
+# the memory budget squeezed to a few KB (and with spilling forced) must
+# match the all-resident run bit-for-bit, as must a chained two-fragment
+# TiMR plan across budgets.
+spillgate:
+	$(GO) test -race -count=1 -run 'TestPipelineLowBudget|TestSpillBudgetEquivalence|TestMemoryBudgetOutputEquivalence' ./internal/bt/ ./internal/core/ ./internal/mapreduce/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race chaos
+check: vet fmt deprecations race chaos spillgate
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -49,4 +56,4 @@ bench:
 # Headline benchmarks (shuffle, Fig. 15/16, engine feed path) as
 # machine-readable JSON — the perf trajectory file compared across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr5.json

@@ -74,7 +74,9 @@ func BenchmarkStrawman_ScopeSelfJoin(b *testing.B) {
 		// The set-oriented plan materializes the full band self-join; the
 		// cap keeps the benchmark bounded when it explodes (the paper's
 		// "intractable" outcome still costs the work done up to the cap).
-		baseline.ScopeRunningClickCount(clicks, window, 50_000_000)
+		if _, _, err := baseline.ScopeRunningClickCount(baseline.SliceSource(clicks), window, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

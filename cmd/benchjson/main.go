@@ -1,9 +1,9 @@
 // Command benchjson runs the repo's headline benchmarks (shuffle,
-// Fig. 15, Fig. 16, the engine feed path) and writes the results as
-// machine-readable JSON — the perf trajectory file tracked across PRs.
-// Usage:
+// spill, Fig. 15, Fig. 16, the engine feed path) and writes the results
+// as machine-readable JSON — the perf trajectory file tracked across
+// PRs. Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_pr3.json
+//	go run ./cmd/benchjson -out BENCH_pr5.json
 //
 // It shells out to `go test -bench` (stdlib only, no benchstat
 // dependency) and parses the standard benchmark output format, keeping
@@ -63,8 +63,8 @@ func parse(pkg string, out []byte, into *[]Result) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output JSON file")
-	pattern := flag.String("bench", "Shuffle_1M|MergeRuns|MergeStableSort|Fig15|Fig16", "benchmark regexp")
+	out := flag.String("out", "BENCH_pr5.json", "output JSON file")
+	pattern := flag.String("bench", "Shuffle_1M|Spill_1M|FlattenResident|MergeRuns|MergeStableSort|Fig15|Fig16", "benchmark regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	feedtime := flag.String("feedbenchtime", "20x", "benchtime for the EngineFeed pair")
 	flag.Parse()

@@ -44,6 +44,7 @@ func main() {
 	machines := flag.Int("machines", 16, "simulated cluster size")
 	window := flag.Duration("window", 6*time.Hour, "window for clickcount")
 	zThresh := flag.Float64("z", 1.28, "z threshold for bt feature selection")
+	budget := flag.Int64("budget", 0, "memory budget in bytes per reduce partition (0 = unlimited, -1 = spill everything)")
 	metrics := flag.Bool("metrics", false, "print per-stage and per-operator metrics to stderr after the run")
 	flag.Parse()
 
@@ -53,7 +54,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d events\n", len(rows))
 
-	cluster := timr.NewCluster(timr.ClusterConfig{Machines: *machines})
+	cluster := timr.NewCluster(timr.ClusterConfig{Machines: *machines, MemoryBudget: *budget})
+	defer cluster.Close()
 	cluster.FS.Write("events", timr.SinglePartition(timr.UnifiedSchema(), rows))
 	cfg := timr.DefaultTiMRConfig()
 	var mroot *timr.MetricScope
@@ -115,8 +117,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, ph := range pipe.Phases {
-			fmt.Fprintf(os.Stderr, "%-14s -> %-12s %8d rows  %v\n",
+			fmt.Fprintf(os.Stderr, "%-14s -> %-12s %8d rows  %v",
 				ph.Name, ph.Output, ph.Rows, ph.Duration.Round(time.Millisecond))
+			if ph.SpillSegments > 0 {
+				fmt.Fprintf(os.Stderr, "  (spilled %d segs, %d KB)",
+					ph.SpillSegments, ph.SpillBytes>>10)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 		fmt.Fprintf(os.Stderr, "end-to-end: %v\n", time.Since(start).Round(time.Millisecond))
 		emit(t, bt.DSScores)

@@ -22,7 +22,10 @@ func TestScopeSelfJoinMatchesOracle(t *testing.T) {
 		clickRow(30, 3, 100),
 		clickRow(12, 4, 200),
 	}
-	out, ok := ScopeRunningClickCount(rows, 10, 1000)
+	out, ok, err := ScopeRunningClickCount(SliceSource(rows), 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("aborted")
 	}
@@ -44,11 +47,11 @@ func TestScopeSelfJoinIntractable(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		rows = append(rows, clickRow(temporal.Time(i), int64(i), 1))
 	}
-	if _, ok := ScopeRunningClickCount(rows, 10_000, 100_000); ok {
-		t.Fatal("expected the self-join to exceed the output cap")
+	if _, ok, err := ScopeRunningClickCount(SliceSource(rows), 10_000, 100_000); err != nil || ok {
+		t.Fatalf("expected the self-join to exceed the output cap (ok=%v err=%v)", ok, err)
 	}
-	if n := ScopeJoinOutputSize(rows, 10_000); n < 1_000_000 {
-		t.Errorf("predicted join size %d, want ~2M", n)
+	if n, err := ScopeJoinOutputSize(SliceSource(rows), 10_000); err != nil || n < 1_000_000 {
+		t.Errorf("predicted join size %d, want ~2M (err=%v)", n, err)
 	}
 }
 
@@ -57,7 +60,10 @@ func TestScopeJoinSizePredictionMatches(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		rows = append(rows, clickRow(temporal.Time(i*3%101), int64(i), int64(i%5)))
 	}
-	out, ok := ScopeRunningClickCount(rows, 50, 1_000_000)
+	out, ok, err := ScopeRunningClickCount(SliceSource(rows), 50, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("unexpected abort")
 	}
@@ -65,8 +71,8 @@ func TestScopeJoinSizePredictionMatches(t *testing.T) {
 	for _, c := range out {
 		materialized += c
 	}
-	if predicted := ScopeJoinOutputSize(rows, 50); predicted != materialized {
-		t.Errorf("predicted %d != materialized %d", predicted, materialized)
+	if predicted, err := ScopeJoinOutputSize(SliceSource(rows), 50); err != nil || predicted != materialized {
+		t.Errorf("predicted %d != materialized %d (err=%v)", predicted, materialized, err)
 	}
 }
 

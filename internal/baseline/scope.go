@@ -17,6 +17,42 @@ import (
 	"timr/internal/temporal"
 )
 
+// RowSource is a pull iterator over rows — the contract of
+// (*mapreduce.RowReader).Next — so baselines scan datasets (resident or
+// spilled) one row at a time instead of requiring a materialized slice.
+type RowSource = func() (temporal.Row, bool, error)
+
+// SliceSource adapts an in-memory row slice to a RowSource.
+func SliceSource(rows []temporal.Row) RowSource {
+	i := 0
+	return func() (temporal.Row, bool, error) {
+		if i >= len(rows) {
+			return nil, false, nil
+		}
+		r := rows[i]
+		i++
+		return r, true, nil
+	}
+}
+
+// scanByAd drains src grouping click times by AdId — the build side of
+// the strawman's hash join. Only (Time, AdId) survive the scan, so even
+// a spilled input costs one streaming pass, not a resident copy.
+func scanByAd(src RowSource) (map[int64][]temporal.Time, error) {
+	byAd := make(map[int64][]temporal.Time)
+	for {
+		r, ok, err := src()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return byAd, nil
+		}
+		ad := r[2].AsInt()
+		byAd[ad] = append(byAd[ad], r[0].AsInt())
+	}
+}
+
 // ScopeRunningClickCount executes the paper's §II-C SCOPE query pair
 // literally:
 //
@@ -33,13 +69,10 @@ import (
 //
 // Rows follow the click-log schema (Time, UserId, AdId); the result maps
 // (Time, AdId) to the count of clicks in (Time-window, Time].
-func ScopeRunningClickCount(rows []temporal.Row, window temporal.Time, maxOutput int) (map[[2]int64]int64, bool) {
-	// Group rows by AdId (the equi-join key), as a relational engine's
-	// hash join would.
-	byAd := make(map[int64][]temporal.Time)
-	for _, r := range rows {
-		ad := r[2].AsInt()
-		byAd[ad] = append(byAd[ad], r[0].AsInt())
+func ScopeRunningClickCount(src RowSource, window temporal.Time, maxOutput int) (map[[2]int64]int64, bool, error) {
+	byAd, err := scanByAd(src)
+	if err != nil {
+		return nil, false, err
 	}
 	out := make(map[[2]int64]int64)
 	produced := 0
@@ -52,23 +85,22 @@ func ScopeRunningClickCount(rows []temporal.Row, window temporal.Time, maxOutput
 				if tb > ta-window && tb <= ta {
 					produced++
 					if produced > maxOutput {
-						return nil, false
+						return nil, false, nil
 					}
 					out[[2]int64{ta, ad}]++
 				}
 			}
 		}
 	}
-	return out, true
+	return out, true, nil
 }
 
 // ScopeJoinOutputSize predicts the strawman's intermediate-result size
 // without materializing it (used to report the blow-up factor).
-func ScopeJoinOutputSize(rows []temporal.Row, window temporal.Time) int64 {
-	byAd := make(map[int64][]temporal.Time)
-	for _, r := range rows {
-		ad := r[2].AsInt()
-		byAd[ad] = append(byAd[ad], r[0].AsInt())
+func ScopeJoinOutputSize(src RowSource, window temporal.Time) (int64, error) {
+	byAd, err := scanByAd(src)
+	if err != nil {
+		return 0, err
 	}
 	var total int64
 	for _, times := range byAd {
@@ -81,5 +113,5 @@ func ScopeJoinOutputSize(rows []temporal.Row, window temporal.Time) int64 {
 			total += int64(i - lo + 1)
 		}
 	}
-	return total
+	return total, nil
 }

@@ -27,6 +27,11 @@ type PhaseResult struct {
 	Rows     int
 	Stat     *mapreduce.JobStat
 	Duration time.Duration
+
+	// Out-of-core activity summed over the phase's stages: how many
+	// segments left memory and how much codec-encoded data they carried.
+	SpillSegments int
+	SpillBytes    int64
 }
 
 // Pipeline runs the end-to-end BT solution (paper Figure 10) as a chain
@@ -82,10 +87,15 @@ func (pl *Pipeline) Run(eventsDataset string) error {
 		if err != nil {
 			return fmt.Errorf("bt: phase %s output: %w", ph.name, err)
 		}
-		pl.Phases = append(pl.Phases, PhaseResult{
+		res := PhaseResult{
 			Name: ph.name, Output: ph.output, Rows: ds.Rows(),
 			Stat: stat, Duration: time.Since(start),
-		})
+		}
+		for _, st := range stat.Stages {
+			res.SpillSegments += st.SpillSegments
+			res.SpillBytes += st.SpillBytes
+		}
+		pl.Phases = append(pl.Phases, res)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"sort"
 
+	"timr/internal/mapreduce"
 	"timr/internal/temporal"
 )
 
@@ -78,6 +79,155 @@ func sortedRange(les []temporal.Time, r runRange) bool {
 		}
 	}
 	return true
+}
+
+// eventRun is one shuffle run's streaming cursor in the k-way event
+// merge: a resident row slice, a pre-sorted materialized event slice
+// (the fallback for runs without RunKey order), or a spilled segment
+// decoding one row frame at a time. cur holds the run's next event
+// after a successful advance.
+type eventRun struct {
+	ord int // global run ordinal — the merge's stability tie-break
+	src int // stage input the run came from (selects the scan name)
+	cur temporal.Event
+
+	toEvent func(mapreduce.Row) temporal.Event
+	rows    []mapreduce.Row      // sorted resident run …
+	evs     []temporal.Event     // … or pre-sorted materialized events …
+	rd      *mapreduce.RowReader // … or a sorted spilled stream
+	i       int
+}
+
+// newEventRun builds a cursor over one segment. Runs without RunKey
+// order are materialized and stable-sorted by LE (onFallback observes
+// the slow path, mirroring mergeRunOrder); sorted runs stream — spilled
+// ones straight off disk, resident ones in place with zero copies.
+func newEventRun(seg *mapreduce.Segment, ord, src int, toEvent func(mapreduce.Row) temporal.Event, onFallback func()) (*eventRun, error) {
+	er := &eventRun{ord: ord, src: src, toEvent: toEvent}
+	switch {
+	case seg.Sorted() && !seg.Spilled():
+		er.rows = seg.Resident()
+	case seg.Sorted():
+		er.rd = seg.Open()
+	default:
+		rows, err := seg.Materialize()
+		if err != nil {
+			return nil, err
+		}
+		evs := make([]temporal.Event, len(rows))
+		for i, r := range rows {
+			evs[i] = toEvent(r)
+		}
+		// A stable sort restores the same (LE, original index) order the
+		// resident merge path would produce.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].LE < evs[j].LE })
+		if onFallback != nil {
+			onFallback()
+		}
+		er.evs = evs
+	}
+	return er, nil
+}
+
+// advance loads the run's next event into cur.
+func (er *eventRun) advance() (bool, error) {
+	switch {
+	case er.rows != nil:
+		if er.i >= len(er.rows) {
+			return false, nil
+		}
+		er.cur = er.toEvent(er.rows[er.i])
+		er.i++
+		return true, nil
+	case er.evs != nil:
+		if er.i >= len(er.evs) {
+			return false, nil
+		}
+		er.cur = er.evs[er.i]
+		er.i++
+		return true, nil
+	case er.rd != nil:
+		r, ok, err := er.rd.Next()
+		if err != nil || !ok {
+			return false, err
+		}
+		er.cur = er.toEvent(r)
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// mergeEventRuns streams the k-way merge of runs into emit in
+// nondecreasing LE order, breaking LE ties by run ordinal — the same
+// order mergeRunOrder materializes (and so the same order as a stable
+// LE sort of the concatenated runs), but pulled one event at a time, so
+// spilled runs never need to be resident at once.
+func mergeEventRuns(runs []*eventRun, emit func(*eventRun) error) error {
+	live := make([]*eventRun, 0, len(runs))
+	for _, er := range runs {
+		ok, err := er.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			live = append(live, er)
+		}
+	}
+	if len(live) == 1 {
+		// Single run: drain straight through, no heap.
+		er := live[0]
+		for {
+			if err := emit(er); err != nil {
+				return err
+			}
+			ok, err := er.advance()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+	h := &eventRunHeap{runs: live}
+	heap.Init(h)
+	for h.Len() > 0 {
+		er := h.runs[0]
+		if err := emit(er); err != nil {
+			return err
+		}
+		ok, err := er.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return nil
+}
+
+type eventRunHeap struct{ runs []*eventRun }
+
+func (h *eventRunHeap) Len() int { return len(h.runs) }
+func (h *eventRunHeap) Less(i, j int) bool {
+	a, b := h.runs[i], h.runs[j]
+	if a.cur.LE != b.cur.LE {
+		return a.cur.LE < b.cur.LE
+	}
+	return a.ord < b.ord
+}
+func (h *eventRunHeap) Swap(i, j int)      { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *eventRunHeap) Push(x interface{}) { h.runs = append(h.runs, x.(*eventRun)) }
+func (h *eventRunHeap) Pop() interface{} {
+	old := h.runs
+	n := len(old)
+	er := old[n-1]
+	h.runs = old[:n-1]
+	return er
 }
 
 // mergeItem is one run's cursor in the merge heap.

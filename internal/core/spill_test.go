@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"timr/internal/mapreduce"
+	"timr/internal/temporal"
+)
+
+// mergeTestRows builds rows with LE in column 0 and a unique id in
+// column 1, so merge order can be checked by id sequence.
+func mergeTestRows(les []temporal.Time, idBase int) []mapreduce.Row {
+	rows := make([]mapreduce.Row, len(les))
+	for i, le := range les {
+		rows[i] = mapreduce.Row{temporal.Int(le), temporal.Int(int64(idBase + i))}
+	}
+	return rows
+}
+
+func mergeTestToEvent(r mapreduce.Row) temporal.Event {
+	return temporal.PointEvent(r[0].AsInt(), r)
+}
+
+// collectMergeIDs drains mergeEventRuns and returns the emitted id column.
+func collectMergeIDs(t *testing.T, runs []*eventRun) []int64 {
+	t.Helper()
+	var ids []int64
+	if err := mergeEventRuns(runs, func(er *eventRun) error {
+		ids = append(ids, er.cur.Payload[1].AsInt())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+// mergeRefIDs is the reference order: a stable LE sort of the runs
+// concatenated in ordinal order — exactly what the pre-streaming
+// reducer produced via mergeRunOrder.
+func mergeRefIDs(runRows [][]mapreduce.Row) []int64 {
+	type ev struct{ le, id int64 }
+	var all []ev
+	for _, rows := range runRows {
+		for _, r := range rows {
+			all = append(all, ev{r[0].AsInt(), r[1].AsInt()})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].le < all[j].le })
+	ids := make([]int64, 0, len(all))
+	for _, e := range all {
+		ids = append(ids, e.id)
+	}
+	return ids
+}
+
+func TestMergeEventRunsMixedResidentAndSpilled(t *testing.T) {
+	// Randomized k-way merges where roughly half the sorted runs live in
+	// spill files: the streamed order must equal the stable-sort
+	// reference regardless of where each run resides. A small LE domain
+	// forces cross-run ties, where ordinal tie-breaking would show any
+	// asymmetry between resident and spilled cursors.
+	r := rand.New(rand.NewSource(53))
+	dir := t.TempDir()
+	for trial := 0; trial < 50; trial++ {
+		nruns := 1 + r.Intn(8)
+		var runRows [][]mapreduce.Row
+		var runs []*eventRun
+		id := 0
+		for ord := 0; ord < nruns; ord++ {
+			n := r.Intn(60) // zero-length runs included
+			les := make([]temporal.Time, n)
+			le := temporal.Time(r.Intn(5))
+			for i := range les {
+				les[i] = le
+				le += temporal.Time(r.Intn(3)) // ties within the run too
+			}
+			rows := mergeTestRows(les, id)
+			id += n
+			runRows = append(runRows, rows)
+			var seg mapreduce.Segment
+			if r.Intn(2) == 0 {
+				spilled, release, err := mapreduce.SpillRows(dir, rows, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer release()
+				seg = spilled
+			} else {
+				seg = mapreduce.ResidentSegment(rows, true)
+			}
+			er, err := newEventRun(&seg, ord, 0, mergeTestToEvent, func() {
+				t.Error("sorted run must not fall back")
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, er)
+		}
+		got := collectMergeIDs(t, runs)
+		want := mergeRefIDs(runRows)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged order diverges\ngot:  %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+func TestMergeEventRunsSingleSpilledRun(t *testing.T) {
+	// One sorted spilled run takes the no-heap fast path and must stream
+	// back in file order.
+	rows := mergeTestRows([]temporal.Time{1, 3, 3, 7, 9}, 0)
+	seg, release, err := mapreduce.SpillRows(t.TempDir(), rows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	er, err := newEventRun(&seg, 0, 0, mergeTestToEvent, func() {
+		t.Error("sorted spilled run must not fall back")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectMergeIDs(t, []*eventRun{er})
+	if want := []int64{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("single spilled run order = %v, want %v", got, want)
+	}
+}
+
+func TestMergeEventRunsEmpty(t *testing.T) {
+	// No runs at all, and runs that are all empty (resident and spilled),
+	// must emit nothing.
+	if err := mergeEventRuns(nil, func(*eventRun) error {
+		t.Error("emit called with no runs")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	emptySpilled, release, err := mapreduce.SpillRows(t.TempDir(), nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	var runs []*eventRun
+	for ord, seg := range []mapreduce.Segment{
+		mapreduce.ResidentSegment(nil, true),
+		emptySpilled,
+	} {
+		seg := seg
+		er, err := newEventRun(&seg, ord, 0, mergeTestToEvent, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, er)
+	}
+	if got := collectMergeIDs(t, runs); len(got) != 0 {
+		t.Fatalf("empty runs emitted %v", got)
+	}
+}
+
+func TestMergeEventRunsEqualKeysAcrossSpillBoundary(t *testing.T) {
+	// All events share one LE, split across resident and spilled runs:
+	// the tie-break must be run ordinal alone, so the output is exactly
+	// run 0's rows, then run 1's, then run 2's — no matter which runs
+	// sit on disk.
+	dir := t.TempDir()
+	runRows := [][]mapreduce.Row{
+		mergeTestRows([]temporal.Time{5, 5, 5}, 0),
+		mergeTestRows([]temporal.Time{5, 5}, 3),
+		mergeTestRows([]temporal.Time{5}, 5),
+	}
+	var runs []*eventRun
+	for ord, rows := range runRows {
+		var seg mapreduce.Segment
+		if ord == 1 { // middle run spilled, neighbours resident
+			spilled, release, err := mapreduce.SpillRows(dir, rows, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer release()
+			seg = spilled
+		} else {
+			seg = mapreduce.ResidentSegment(rows, true)
+		}
+		er, err := newEventRun(&seg, ord, 0, mergeTestToEvent, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, er)
+	}
+	got := collectMergeIDs(t, runs)
+	if want := []int64{0, 1, 2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("equal-key order across spill boundary = %v, want %v", got, want)
+	}
+}
+
+func TestMergeEventRunsUnsortedSpilledFallsBack(t *testing.T) {
+	// A spilled run without the RunKey sortedness mark must materialize,
+	// stable-sort, and announce the fallback — and still merge into the
+	// reference order.
+	unsorted := mergeTestRows([]temporal.Time{9, 2, 2, 4}, 0)
+	sorted := mergeTestRows([]temporal.Time{1, 3, 4}, 4)
+	seg, release, err := mapreduce.SpillRows(t.TempDir(), unsorted, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	fallbacks := 0
+	er0, err := newEventRun(&seg, 0, 0, mergeTestToEvent, func() { fallbacks++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident := mapreduce.ResidentSegment(sorted, true)
+	er1, err := newEventRun(&resident, 1, 0, mergeTestToEvent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectMergeIDs(t, []*eventRun{er0, er1})
+	want := mergeRefIDs([][]mapreduce.Row{unsorted, sorted})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback merge order = %v, want %v", got, want)
+	}
+	if fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", fallbacks)
+	}
+}
+
+func TestSpillBudgetEquivalence(t *testing.T) {
+	// The out-of-core acceptance bar: a chained two-fragment temporal
+	// plan produces bit-identical results whether nothing, some, or
+	// every dataset spills — and the resident reference itself matches
+	// the single-node engine.
+	r := rand.New(rand.NewSource(7))
+	rows := clickRows(r, 3000, 40, 6)
+	mk := func() *temporal.Plan {
+		return temporal.Scan("clicks", clickSchema()).
+			Exchange(temporal.PartitionBy{Cols: []string{"UserId"}}).
+			GroupApply([]string{"UserId"}, func(g *temporal.Plan) *temporal.Plan {
+				return g.WithWindow(10).Count("C1")
+			}).
+			ToPoint().
+			Exchange(temporal.PartitionBy{Cols: []string{"UserId"}}).
+			GroupApply([]string{"UserId"}, func(g *temporal.Plan) *temporal.Plan {
+				return g.WithWindow(100).Max("C1", "M")
+			})
+	}
+	run := func(budget int64) []temporal.Event {
+		cl := mapreduce.NewCluster(mapreduce.Config{
+			Machines: 8, MemoryBudget: budget, SpillDir: t.TempDir(),
+		})
+		defer func() {
+			if err := cl.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		tm := New(cl, DefaultConfig())
+		cl.FS.Write("ds.clicks", mapreduce.SinglePartition(clickSchema(), rows))
+		stat, err := tm.Run(mk(), map[string]string{"clicks": "ds.clicks"}, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spilled := 0
+		for _, st := range stat.Stages {
+			spilled += st.SpillSegments
+		}
+		if budget == mapreduce.SpillAll && spilled == 0 {
+			t.Fatal("SpillAll run recorded no spill activity")
+		}
+		if budget == 0 && spilled != 0 {
+			t.Fatalf("unlimited budget spilled %d segments", spilled)
+		}
+		got, err := tm.ResultEvents("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	want := run(0)
+	if len(want) == 0 {
+		t.Fatal("empty reference result")
+	}
+	for _, budget := range []int64{mapreduce.SpillAll, 256, 4 << 10} {
+		if got := run(budget); !temporal.EventsEqual(got, want) {
+			t.Fatalf("budget=%d diverges from the resident run", budget)
+		}
+	}
+	if single := singleNode(t, mk(), "clicks", rows, 0); !temporal.EventsEqual(want, single) {
+		t.Fatal("resident run diverges from single-node reference")
+	}
+}

@@ -167,6 +167,11 @@ func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
 		Output:    frag.Output,
 		OutSchema: outSchema,
 	}
+	// Every TiMR reducer merges its input runs by event LE; declaring the
+	// run key lets the map phase annotate each shuffle run's sortedness
+	// inline, so spilled runs can stream through the merge without a
+	// re-read (and unsorted ones fall back to materialize+sort).
+	st.RunKey = runKeyFn(frag)
 
 	if frag.Part.Temporal {
 		if err := t.temporalStage(&st, frag); err != nil {
@@ -189,8 +194,29 @@ func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
 		st.Partition = mapreduce.PartitionByCols(cols)
 	}
 
-	st.ReduceRuns = t.reducer(frag, nil)
+	st.ReduceSegments = t.reducer(frag, nil)
 	return st, nil
+}
+
+// runKeyFn builds the stage's RunKey: the event left endpoint — the
+// lifetime LE column for intermediate inputs, the Time column for raw
+// sources. It is exactly the key the reducer's k-way merge orders by.
+func runKeyFn(frag *Fragment) func(mapreduce.Row, int) int64 {
+	timeCols := make([]int, len(frag.Inputs))
+	intermediate := make([]bool, len(frag.Inputs))
+	for i, in := range frag.Inputs {
+		if in.Intermediate {
+			intermediate[i] = true
+		} else {
+			timeCols[i] = in.Schema.MustIndex(TimeColumn)
+		}
+	}
+	return func(r mapreduce.Row, src int) int64 {
+		if intermediate[src] {
+			return r[0].AsInt()
+		}
+		return r[timeCols[src]].AsInt()
+	}
 }
 
 // hasLifetimeColumns reports whether a stored dataset schema leads with
@@ -213,10 +239,12 @@ func partitionCols(in FragmentInput, cols []string) []int {
 
 // reducer builds the method P for a fragment. If spans is non-nil, output
 // events are clipped to the owned interval (temporal partitioning). The
-// returned function has the run-aware signature (mapreduce.Stage.ReduceRuns):
-// the shuffle's run boundaries let P replace its global pre-sort with a
-// k-way merge of already-sorted runs.
-func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.Row, [][]int, func(mapreduce.Row)) error {
+// returned function has the out-of-core signature
+// (mapreduce.Stage.ReduceSegments): each input arrives as a list of
+// shuffle-run segments, resident or spilled, and P streams them through
+// a k-way merge into the engine instead of materializing the partition
+// — its working set is the merge frontier plus one feed batch.
+func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.Segment, func(mapreduce.Row)) error {
 	// Capture per-input conversion metadata once.
 	type inMeta struct {
 		scan         string
@@ -240,7 +268,7 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 	mergeRuns := scope.Counter("merge_runs")
 	mergeFallbacks := scope.Counter("merge_fallback_sorts")
 
-	return func(part int, in [][]mapreduce.Row, runs [][]int, emit func(mapreduce.Row)) error {
+	return func(part int, in [][]mapreduce.Segment, emit func(mapreduce.Row)) error {
 		// The paper's deployment bridges the DSMS's asynchronous push to
 		// M-R's synchronous pull with a blocking queue (§III-C.2). Here
 		// both sides live in one goroutine, so the engine's batched output
@@ -258,48 +286,27 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 			return err
 		}
 
-		// Convert partition rows to events (P reads rows "and converts
-		// each row into an event using the predefined Time column").
-		total := 0
-		for _, rows := range in {
-			total += len(rows)
-		}
-		feed := make([]temporal.SourceEvent, 0, total)
-		les := make([]temporal.Time, 0, total)
-		var runRanges []runRange
-		for src, rows := range in {
+		// One streaming cursor per shuffle run, in (source, run) order —
+		// the same global run ordinals the materialized merge used, so the
+		// pop order is identical. Rows convert to events lazily (P reads
+		// rows "and converts each row into an event using the predefined
+		// Time column"); resident runs are walked in place, sorted spilled
+		// runs decode one row frame at a time.
+		runs := make([]*eventRun, 0, 8)
+		for src := range in {
 			m := metas[src]
-			base := len(feed)
-			for _, r := range rows {
-				var ev temporal.Event
+			toEvent := func(r mapreduce.Row) temporal.Event {
 				if m.intermediate {
-					ev = temporal.Event{LE: r[0].AsInt(), RE: r[1].AsInt(), Payload: r[2:]}
-				} else {
-					ev = temporal.PointEvent(r[m.timeCol].AsInt(), r)
+					return temporal.Event{LE: r[0].AsInt(), RE: r[1].AsInt(), Payload: r[2:]}
 				}
-				feed = append(feed, temporal.SourceEvent{Source: m.scan, Event: ev})
-				les = append(les, ev.LE)
+				return temporal.PointEvent(r[m.timeCol].AsInt(), r)
 			}
-			// Translate this source's shuffle run lengths into feed index
-			// ranges. A missing or inconsistent run structure degrades to
-			// one run for the whole segment — the merge then behaves like
-			// the old global sort.
-			sum := 0
-			if src < len(runs) {
-				for _, l := range runs[src] {
-					sum += l
+			for i := range in[src] {
+				er, err := newEventRun(&in[src][i], len(runs), src, toEvent, func() { mergeFallbacks.Add(1) })
+				if err != nil {
+					return err
 				}
-			}
-			if src < len(runs) && sum == len(rows) && len(runs[src]) > 0 {
-				off := base
-				for _, l := range runs[src] {
-					if l > 0 {
-						runRanges = append(runRanges, runRange{off, off + l})
-					}
-					off += l
-				}
-			} else if len(rows) > 0 {
-				runRanges = append(runRanges, runRange{base, base + len(rows)})
+				runs = append(runs, er)
 			}
 		}
 		// The engine requires nondecreasing LE; M-R partitions are not
@@ -309,9 +316,8 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 		// a concatenation of runs that are individually time-sorted
 		// whenever their upstream partition was, so instead of a global
 		// O(n log n) re-sort, P k-way merges the runs — reproducing the
-		// stable LE-sort order exactly (see mergeRunOrder).
-		mergeRuns.Add(int64(len(runRanges)))
-		order := mergeRunOrder(les, runRanges, func() { mergeFallbacks.Add(1) })
+		// stable LE-sort order exactly (see mergeEventRuns).
+		mergeRuns.Add(int64(len(runs)))
 
 		// Feed the merged order in same-source batches: one pipeline entry
 		// call per run instead of per event.
@@ -323,13 +329,15 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 				batch = batch[:0]
 			}
 		}
-		for _, ix := range order {
-			se := &feed[ix]
-			if se.Source != cur || len(batch) >= reduceFeedBatch {
+		if err := mergeEventRuns(runs, func(er *eventRun) error {
+			if scan := metas[er.src].scan; scan != cur || len(batch) >= reduceFeedBatch {
 				flush()
-				cur = se.Source
+				cur = scan
 			}
-			batch = append(batch, se.Event)
+			batch = append(batch, er.cur)
+			return nil
+		}); err != nil {
+			return err
 		}
 		flush()
 		eng.Flush()
@@ -419,8 +427,16 @@ func (t *TiMR) temporalStage(st *mapreduce.Stage, frag *Fragment) error {
 		if !in.Intermediate {
 			timeCol = in.Schema.MustIndex(TimeColumn)
 		}
-		for _, p := range ds.Partitions {
-			for _, r := range p {
+		for p := 0; p < ds.NumPartitions(); p++ {
+			rd := ds.Reader(p)
+			for {
+				r, ok, err := rd.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
 				ts := r[timeCol].AsInt()
 				if ts < lo {
 					lo = ts
@@ -471,7 +487,7 @@ func (t *TiMR) temporalStage(st *mapreduce.Stage, frag *Fragment) error {
 		}
 		return spans.SpansFor(r[timeCols[src]].AsInt())
 	}
-	st.ReduceRuns = t.reducer(frag, spans)
+	st.ReduceSegments = t.reducer(frag, spans)
 	return nil
 }
 

@@ -53,6 +53,7 @@ var registry = []Experiment{
 	{"failures", "§III-C.1: repeatability and cost under reducer failures", FailureRecovery},
 	{"shuffle", "parallel map/shuffle path vs serial reference: speedup and determinism", Shuffle},
 	{"chaos", "fault-tolerant streaming: checkpoint/replay recovery under injected partition crashes", StreamingChaos},
+	{"spill", "out-of-core data plane: BotElim wall time and spill I/O vs memory budget", Spill},
 }
 
 // All returns every experiment in presentation order.

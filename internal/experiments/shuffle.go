@@ -24,9 +24,9 @@ func Shuffle(c *Context) (*Table, error) {
 		temporal.Field{Name: "V", Kind: temporal.KindInt},
 		temporal.Field{Name: "Tag", Kind: temporal.KindString},
 	)
-	ds := &mapreduce.Dataset{Schema: schema, Partitions: make([][]mapreduce.Row, inParts)}
+	ds := mapreduce.NewDataset(schema, inParts)
 	v := 0
-	for p := range ds.Partitions {
+	for p := 0; p < inParts; p++ {
 		rows := make([]mapreduce.Row, totalRows/inParts)
 		for i := range rows {
 			rows[i] = mapreduce.Row{
@@ -36,7 +36,7 @@ func Shuffle(c *Context) (*Table, error) {
 			}
 			v++
 		}
-		ds.Partitions[p] = rows
+		ds.Append(p, rows)
 	}
 	st := mapreduce.Stage{
 		Name: "repartition", Inputs: []string{"in"}, Output: "out", OutSchema: schema,

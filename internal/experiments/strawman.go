@@ -31,6 +31,7 @@ func Strawman(c *Context) (*Table, error) {
 			clicks = append(clicks, temporal.Row{r[0], r[2], r[3]})
 		}
 	}
+	clickDS := mapreduce.SinglePartition(clickSchema, clicks)
 
 	t := &Table{
 		Title:  "§II-C strawman comparison: RunningClickCount (6h window)",
@@ -38,10 +39,18 @@ func Strawman(c *Context) (*Table, error) {
 	}
 
 	// ---- SCOPE self-join ----
+	// The baseline scans the dataset through the pull iterator — the same
+	// path a spilled click log would stream through.
 	cap := 20_000_000
-	predicted := baseline.ScopeJoinOutputSize(clicks, window)
+	predicted, err := baseline.ScopeJoinOutputSize(clickDS.Reader(0).Next, window)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	_, ok := baseline.ScopeRunningClickCount(clicks, window, cap)
+	_, ok, err := baseline.ScopeRunningClickCount(clickDS.Reader(0).Next, window, cap)
+	if err != nil {
+		return nil, err
+	}
 	scopeTime := time.Since(start)
 	status := "completed"
 	if !ok {
@@ -51,7 +60,7 @@ func Strawman(c *Context) (*Table, error) {
 
 	// ---- Custom linked-list reducer on the cluster ----
 	cl := mapreduce.NewCluster(mapreduce.Config{Machines: c.Opt.Machines})
-	cl.FS.Write("clicks", mapreduce.SinglePartition(clickSchema, clicks))
+	cl.FS.Write("clicks", clickDS)
 	start = time.Now()
 	if _, err := cl.Run(baseline.CustomRunningClickCountStage("clicks", "out.custom", window)); err != nil {
 		return nil, err
@@ -67,7 +76,7 @@ func Strawman(c *Context) (*Table, error) {
 		})
 	cl2 := mapreduce.NewCluster(mapreduce.Config{Machines: c.Opt.Machines})
 	tm := core.New(cl2, core.DefaultConfig())
-	cl2.FS.Write("clicks", mapreduce.SinglePartition(clickSchema, clicks))
+	cl2.FS.Write("clicks", clickDS)
 	start = time.Now()
 	if _, err := tm.Run(plan, map[string]string{"clicks": "clicks"}, "out.timr"); err != nil {
 		return nil, err

@@ -14,7 +14,10 @@
 //   - cluster cost is accounted per reducer task, and a job's makespan on
 //     M machines is computed by list scheduling, so scaling experiments
 //     (paper Figures 15 and 16) are meaningful regardless of how many
-//     physical cores the host has.
+//     physical cores the host has;
+//   - datasets larger than memory spill to disk in segments (spill.go)
+//     and stream back through pull iterators, so a stage's working set
+//     is bounded by the cluster's MemoryBudget, not its input size.
 package mapreduce
 
 import (
@@ -34,33 +37,115 @@ type (
 )
 
 // Dataset is a partitioned, schema-carrying table in the simulated DFS.
+// Each partition is an ordered list of segments, resident or spilled;
+// consumers iterate rows through Reader (or Flatten for whole-dataset
+// materialization) rather than indexing raw slices.
 type Dataset struct {
-	Schema     *Schema
-	Partitions [][]Row
+	Schema *Schema
+	parts  [][]Segment
 }
 
-// Rows returns the total row count across partitions.
+// NewDataset builds an empty dataset with nparts partitions.
+func NewDataset(schema *Schema, nparts int) *Dataset {
+	return &Dataset{Schema: schema, parts: make([][]Segment, nparts)}
+}
+
+// SinglePartition builds a dataset with all rows resident in one
+// partition — the shape of freshly ingested logs before any
+// repartitioning. The rows are borrowed, not copied.
+func SinglePartition(schema *Schema, rows []Row) *Dataset {
+	d := NewDataset(schema, 1)
+	d.Append(0, rows)
+	return d
+}
+
+// NumPartitions returns the partition count.
+func (d *Dataset) NumPartitions() int { return len(d.parts) }
+
+// Append adds rows (borrowed, not copied) as a resident segment of
+// partition p. Empty appends are dropped.
+func (d *Dataset) Append(p int, rows []Row) {
+	d.AppendSegment(p, ResidentSegment(rows, false))
+}
+
+// AppendSegment adds a segment to partition p. Empty segments are
+// dropped so partitions never carry zero-length runs.
+func (d *Dataset) AppendSegment(p int, seg Segment) {
+	if seg.Len() == 0 {
+		return
+	}
+	d.parts[p] = append(d.parts[p], seg)
+}
+
+// Partition returns partition p's segment list (borrowed; callers must
+// not mutate).
+func (d *Dataset) Partition(p int) []Segment { return d.parts[p] }
+
+// Rows returns the total row count across partitions. It never touches
+// disk: spilled segments carry their row count.
 func (d *Dataset) Rows() int {
 	n := 0
-	for _, p := range d.Partitions {
-		n += len(p)
+	for _, segs := range d.parts {
+		for i := range segs {
+			n += segs[i].Len()
+		}
 	}
 	return n
 }
 
-// Flatten returns all rows of the dataset in partition order.
-func (d *Dataset) Flatten() []Row {
-	out := make([]Row, 0, d.Rows())
-	for _, p := range d.Partitions {
-		out = append(out, p...)
-	}
-	return out
+// Reader returns a pull iterator over partition p's rows in segment
+// order.
+func (d *Dataset) Reader(p int) *RowReader {
+	return NewRowReader(d.parts[p]...)
 }
 
-// SinglePartition builds a dataset with all rows in one partition — the
-// shape of freshly ingested logs before any repartitioning.
-func SinglePartition(schema *Schema, rows []Row) *Dataset {
-	return &Dataset{Schema: schema, Partitions: [][]Row{rows}}
+// ReadAll returns all rows of the dataset in partition order. When the
+// dataset is a single resident segment (the common fully-in-memory
+// case) the underlying slice is returned borrowed — zero copies, zero
+// allocations — so callers must not mutate the result.
+func (d *Dataset) ReadAll() ([]Row, error) {
+	var only *Segment
+	nseg, total := 0, 0
+	for _, segs := range d.parts {
+		for i := range segs {
+			nseg++
+			only = &segs[i]
+			total += segs[i].Len()
+		}
+	}
+	if nseg == 0 {
+		return nil, nil
+	}
+	if nseg == 1 && !only.Spilled() {
+		return only.Resident(), nil
+	}
+	out := make([]Row, 0, total)
+	for p := range d.parts {
+		rd := d.Reader(p)
+		for {
+			r, ok, err := rd.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Flatten returns all rows of the dataset in partition order, borrowed
+// when the dataset is a single resident segment (see ReadAll). It
+// panics if a spilled segment cannot be read — callers that need to
+// handle spill I/O errors use ReadAll.
+func (d *Dataset) Flatten() []Row {
+	rows, err := d.ReadAll()
+	if err != nil {
+		panic(err)
+	}
+	return rows
 }
 
 // FS is the simulated distributed file system (Cosmos/HDFS/GFS stand-in).
@@ -101,7 +186,9 @@ func (fs *FS) MustRead(name string) *Dataset {
 	return d
 }
 
-// Delete removes a dataset (intermediate cleanup between stages).
+// Delete removes a dataset (intermediate cleanup between stages). Any
+// spill files backing its segments stay on disk until the owning
+// cluster is closed — other datasets may share them.
 func (fs *FS) Delete(name string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -45,9 +46,27 @@ type Stage struct {
 	// chunk of one input partition in its original order, so it is
 	// time-sorted whenever that input partition was — which lets
 	// order-sensitive reducers merge runs instead of re-sorting the whole
-	// partition (TiMR's reducer P exploits this).
+	// partition. Inputs are materialized in memory before the reducer
+	// runs; out-of-core reducers use ReduceSegments instead.
 	ReduceRuns func(part int, in [][]Row, runs [][]int, emit func(Row)) error
+	// ReduceSegments, when set, supersedes Reduce and ReduceRuns: the
+	// reducer receives the shuffle output as per-source segment lists
+	// (each segment one shuffle run, resident or spilled) and pulls rows
+	// through RowReaders instead of receiving whole row slices — the
+	// out-of-core path TiMR's reducer P runs on.
+	ReduceSegments func(part int, in [][]Segment, emit func(Row)) error
+	// RunKey, when set, extracts the sort key each input partition is
+	// ordered by (per source). The map phase uses it to annotate every
+	// shuffle run's Segment.Sorted flag inline, which is the only moment
+	// sortedness can be established without re-reading a spilled run.
+	// When nil, runs are conservatively marked unsorted.
+	RunKey func(r Row, src int) int64
 }
+
+// SpillAll, as a MemoryBudget, forces every shuffle run and output
+// partition to disk — the "spill everything" end of the equivalence
+// sweep.
+const SpillAll int64 = -1
 
 // Config describes the simulated cluster.
 type Config struct {
@@ -60,11 +79,24 @@ type Config struct {
 	// accounting; it does not slow real execution.
 	ShufflePerRow time.Duration
 	// MapWorkers caps the worker pool of every stage phase (map,
-	// concatenate, reduce). Zero (the default) uses min(Machines,
-	// GOMAXPROCS); 1 forces the serial reference path that the shuffle
-	// benchmark and determinism tests compare against. The shuffled row
-	// order is identical for every setting.
+	// reduce). Zero (the default) uses min(Machines, GOMAXPROCS); 1
+	// forces the serial reference path that the shuffle benchmark and
+	// determinism tests compare against. The shuffled row order is
+	// identical for every setting.
 	MapWorkers int
+	// MemoryBudget bounds the estimated resident bytes (see RowBytes) a
+	// stage may hold for shuffle runs, and separately for its output
+	// partitions. 0 (the zero value) means unlimited — everything stays
+	// resident, byte-for-byte the pre-spill behavior. A negative value
+	// (SpillAll) spills every run and output segment. A positive value
+	// keeps runs resident in deterministic (partition, source, map-task)
+	// order until the budget is spent, then spills the rest, so the
+	// spill set is a pure function of the input — never of goroutine
+	// scheduling.
+	MemoryBudget int64
+	// SpillDir roots the cluster's spill directory (default: the OS temp
+	// dir). Created lazily on first spill; removed by Cluster.Close.
+	SpillDir string
 }
 
 // DefaultConfig is a 150-machine failure-free cluster, mirroring the
@@ -101,6 +133,14 @@ type StageStat struct {
 	OutputRows   int
 	Partitions   int
 	Failures     int
+	// Spill accounting: segments and encoded bytes this stage wrote to
+	// spill files, and the bytes/wall-time it spent reading spilled
+	// segments back (its own shuffle runs plus any spilled input from
+	// upstream stages).
+	SpillSegments  int
+	SpillBytes     int64
+	SpillReadBytes int64
+	SpillReadNs    int64
 	// Maps records one entry per map task (a contiguous chunk of one
 	// input partition, see mapChunkRows): rows scanned and the real time
 	// spent partitioning them. Map tasks never fail in the simulator
@@ -235,8 +275,14 @@ type Cluster struct {
 	Cfg Config
 	// Obs, when set, receives per-stage metrics under a "stage.<name>"
 	// child scope: row/byte counters, failure and retry accounting, task
-	// duration histograms, and skew gauges. Nil disables emission.
+	// duration histograms, skew gauges, and spill traffic. Nil disables
+	// emission.
 	Obs *obs.Scope
+
+	spillMu    sync.Mutex
+	spillDir   string
+	spillFiles []*spillFile
+	spillAcct  spillIO
 }
 
 // NewCluster builds a cluster over a fresh FS.
@@ -248,6 +294,62 @@ func NewCluster(cfg Config) *Cluster {
 		cfg.MaxAttempts = 4
 	}
 	return &Cluster{FS: NewFS(), Cfg: cfg}
+}
+
+// newSpillFile opens a fresh spill file in the cluster's (lazily
+// created) spill directory.
+func (c *Cluster) newSpillFile() (*spillFile, error) {
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	if c.spillDir == "" {
+		dir, err := os.MkdirTemp(c.Cfg.SpillDir, "timr-spill-")
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: create spill dir: %w", err)
+		}
+		c.spillDir = dir
+	}
+	sf, err := createSpillFile(c.spillDir, &c.spillAcct)
+	if err != nil {
+		return nil, err
+	}
+	c.spillFiles = append(c.spillFiles, sf)
+	return sf, nil
+}
+
+// releaseSpillFile closes and deletes one spill file (a stage's shuffle
+// runs, dead once its reducers finish).
+func (c *Cluster) releaseSpillFile(sf *spillFile) {
+	c.spillMu.Lock()
+	for i, f := range c.spillFiles {
+		if f == sf {
+			c.spillFiles = append(c.spillFiles[:i], c.spillFiles[i+1:]...)
+			break
+		}
+	}
+	c.spillMu.Unlock()
+	sf.close()
+}
+
+// Close deletes every spill file the cluster created. Spilled segments
+// of datasets still in the FS become unreadable; call it when done with
+// the cluster's outputs. A cluster that never spilled needs no Close.
+func (c *Cluster) Close() error {
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	var first error
+	for _, sf := range c.spillFiles {
+		if err := sf.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.spillFiles = nil
+	if c.spillDir != "" {
+		if err := os.RemoveAll(c.spillDir); err != nil && first == nil {
+			first = err
+		}
+		c.spillDir = ""
+	}
+	return first
 }
 
 // Run executes the stages in order, returning accounting for the job.
@@ -281,27 +383,33 @@ func (c *Cluster) injectedFailure(stage string, part, attempt int) bool {
 // mapChunkRows is the map-task granule: each map task partitions one
 // contiguous chunk of at most this many rows from one input partition.
 // Small enough to load-balance skewed inputs across workers, large enough
-// that per-task bookkeeping is noise.
+// that per-task bookkeeping is noise. Spilled output segments are capped
+// at the same row count, so a spilled segment always maps to exactly one
+// map task downstream.
 const mapChunkRows = 64 << 10
 
 // mapTask is one unit of map-phase work: a chunk of rows from one input,
 // partitioned into local per-destination buckets. Tasks execute on any
-// worker in any order; determinism comes from concatenating buckets in
+// worker in any order; determinism comes from walking buckets in
 // task-creation order afterwards.
 type mapTask struct {
-	src     int
-	rows    []Row
-	buckets [][]Row // per destination partition, filled by the worker
-	bytes   int     // shuffle bytes produced (RowBytes per destination copy)
-	dups    int     // shuffle rows produced (>= len(rows) under MultiPartition)
-	stat    TaskStat
-	err     error // user partition-fn panic, isolated by the worker
+	src  int
+	rows []Row   // resident input chunk …
+	seg  Segment // … or a spilled segment, decoded by the worker
+
+	buckets      [][]Row // per destination partition, filled by the worker
+	bucketBytes  []int   // RowBytes per bucket (budget accounting)
+	bucketSorted []bool  // per-bucket RunKey order, nil when RunKey unset
+	bytes        int     // shuffle bytes produced (RowBytes per destination copy)
+	dups         int     // shuffle rows produced (>= input rows under MultiPartition)
+	stat         TaskStat
+	err          error // user partition-fn panic or spill I/O, isolated by the worker
 }
 
 // workers resolves the worker-pool size for a phase with n parallel
 // tasks: MapWorkers when set, otherwise min(Machines, GOMAXPROCS),
-// clamped to [1, n]. All three phases of runStage (map, concatenate,
-// reduce) share this derivation so MapWorkers applies uniformly.
+// clamped to [1, n]. The map and reduce phases share this derivation so
+// MapWorkers applies uniformly.
 func (c *Cluster) workers(n int) int {
 	w := c.Cfg.MapWorkers
 	if w <= 0 {
@@ -319,35 +427,98 @@ func (c *Cluster) workers(n int) int {
 	return w
 }
 
+// runMapTask partitions one task's rows into per-destination buckets,
+// tracking per-bucket byte volume and (when the stage declares a
+// RunKey) whether each bucket remains sorted by it — the only moment
+// run sortedness can be recorded without re-reading the run.
+func runMapTask(s *Stage, t *mapTask, nparts int) error {
+	rows := t.rows
+	if rows == nil && t.seg.Len() > 0 {
+		var err error
+		if rows, err = t.seg.Materialize(); err != nil {
+			return err
+		}
+	}
+	t.stat.Rows = len(rows)
+	t.buckets = make([][]Row, nparts)
+	t.bucketBytes = make([]int, nparts)
+	var bucketLast []int64
+	if s.RunKey != nil {
+		t.bucketSorted = make([]bool, nparts)
+		for i := range t.bucketSorted {
+			t.bucketSorted[i] = true
+		}
+		bucketLast = make([]int64, nparts)
+	}
+	route := func(p int, r Row, b int, key int64) {
+		if bucketLast != nil {
+			if len(t.buckets[p]) > 0 && key < bucketLast[p] {
+				t.bucketSorted[p] = false
+			}
+			bucketLast[p] = key
+		}
+		t.buckets[p] = append(t.buckets[p], r)
+		t.bucketBytes[p] += b
+		t.dups++
+		t.bytes += b
+	}
+	for _, r := range rows {
+		b := RowBytes(r)
+		var key int64
+		if s.RunKey != nil {
+			key = s.RunKey(r, t.src)
+		}
+		if s.MultiPartition != nil {
+			for _, p := range s.MultiPartition(r, t.src, nparts) {
+				route(p, r, b, key)
+			}
+			continue
+		}
+		p := int(s.Partition(r, t.src) % uint64(nparts))
+		route(p, r, b, key)
+	}
+	return nil
+}
+
 func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	start := time.Now()
+	ioStart := c.spillAcct.snapshot()
 	nparts := s.NumPartitions
 	if nparts <= 0 {
 		nparts = c.Cfg.Machines
 	}
 	stat := &StageStat{Name: s.Name, Partitions: nparts}
-	if s.Reduce == nil && s.ReduceRuns == nil {
+	if s.Reduce == nil && s.ReduceRuns == nil && s.ReduceSegments == nil {
 		return stat, fmt.Errorf("stage %s: no reducer", s.Name)
 	}
 
 	// ---- Map phase: read inputs, partition rows in parallel ----
-	// Chunk every input partition into map tasks in (src, partition, chunk)
-	// order; that fixed order is what the concatenation below replays, so
-	// the shuffled row order is identical no matter how many workers run or
-	// how they interleave.
+	// Chunk every input partition into map tasks in (src, partition,
+	// segment, chunk) order; that fixed order is what the shuffle-run walk
+	// below replays, so the shuffled row order is identical no matter how
+	// many workers run or how they interleave. A spilled input segment is
+	// one map task (its writer capped it at mapChunkRows); resident
+	// segments are sliced zero-copy.
 	var tasks []*mapTask
 	for src, name := range s.Inputs {
 		ds, err := c.FS.Read(name)
 		if err != nil {
 			return stat, err
 		}
-		for _, partition := range ds.Partitions {
-			for off := 0; off < len(partition); off += mapChunkRows {
-				end := off + mapChunkRows
-				if end > len(partition) {
-					end = len(partition)
+		for p := 0; p < ds.NumPartitions(); p++ {
+			for _, seg := range ds.Partition(p) {
+				if seg.Spilled() {
+					tasks = append(tasks, &mapTask{src: src, seg: seg})
+					continue
 				}
-				tasks = append(tasks, &mapTask{src: src, rows: partition[off:end]})
+				rows := seg.Resident()
+				for off := 0; off < len(rows); off += mapChunkRows {
+					end := off + mapChunkRows
+					if end > len(rows) {
+						end = len(rows)
+					}
+					tasks = append(tasks, &mapTask{src: src, rows: rows[off:end]})
+				}
 			}
 		}
 	}
@@ -374,30 +545,12 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 							t.err = fmt.Errorf("mapreduce: stage %s: map task %d panicked: %v", s.Name, i, rec)
 						}
 					}()
-					t.buckets = make([][]Row, nparts)
-					for _, r := range t.rows {
-						b := RowBytes(r)
-						if s.MultiPartition != nil {
-							for _, p := range s.MultiPartition(r, t.src, nparts) {
-								t.buckets[p] = append(t.buckets[p], r)
-								t.dups++
-								t.bytes += b
-							}
-							continue
-						}
-						p := int(s.Partition(r, t.src) % uint64(nparts))
-						t.buckets[p] = append(t.buckets[p], r)
-						t.dups++
-						t.bytes += b
-					}
+					t.err = runMapTask(s, t, nparts)
 				}()
-				t.stat = TaskStat{
-					Stage:     s.Name,
-					Partition: i,
-					Rows:      len(t.rows),
-					Attempts:  1,
-					Duration:  time.Since(t0),
-				}
+				t.stat.Stage = s.Name
+				t.stat.Partition = i
+				t.stat.Attempts = 1
+				t.stat.Duration = time.Since(t0)
 			}
 		}()
 	}
@@ -408,57 +561,56 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 		}
 	}
 
-	// Deterministic concatenation: parts[p][src] is the tasks' buckets for
-	// (p, src) joined in task-creation order — byte-identical to the serial
-	// single-pass shuffle. runs[p][src] records each non-empty bucket's
-	// length; every run is a contiguous slice of one input partition in its
-	// original order, which ReduceRuns reducers exploit.
-	parts := make([][][]Row, nparts)
-	runs := make([][][]int, nparts)
-	var cwg sync.WaitGroup
-	var nextPart atomic.Int64
-	cworkers := c.workers(nparts)
-	for w := 0; w < cworkers; w++ {
-		cwg.Add(1)
-		go func() {
-			defer cwg.Done()
-			for {
-				p := int(nextPart.Add(1)) - 1
-				if p >= nparts {
-					return
+	// ---- Shuffle-run walk: assemble per-partition segment lists ----
+	// parts[p][src] lists the non-empty (p, src) buckets in task-creation
+	// order — row-identical to the serial single-pass shuffle, each bucket
+	// one run. The walk is sequential and deterministic, which makes the
+	// budget decision deterministic too: runs stay resident in (partition,
+	// source, task) order until MemoryBudget is spent, the rest spill as
+	// (possibly sorted) runs to one stage-lifetime spill file.
+	budget := c.Cfg.MemoryBudget
+	parts := make([][][]Segment, nparts)
+	var shuffleFile *spillFile
+	var resident int64
+	for p := 0; p < nparts; p++ {
+		parts[p] = make([][]Segment, len(s.Inputs))
+		for src := range s.Inputs {
+			for _, t := range tasks {
+				if t.src != src || len(t.buckets[p]) == 0 {
+					continue
 				}
-				parts[p] = make([][]Row, len(s.Inputs))
-				runs[p] = make([][]int, len(s.Inputs))
-				for src := range s.Inputs {
-					n := 0
-					for _, t := range tasks {
-						if t.src == src {
-							n += len(t.buckets[p])
-						}
-					}
-					if n == 0 {
-						continue
-					}
-					rows := make([]Row, 0, n)
-					for _, t := range tasks {
-						if t.src != src || len(t.buckets[p]) == 0 {
-							continue
-						}
-						rows = append(rows, t.buckets[p]...)
-						runs[p][src] = append(runs[p][src], len(t.buckets[p]))
-					}
-					parts[p][src] = rows
+				sorted := t.bucketSorted != nil && t.bucketSorted[p]
+				keep := budget == 0 || (budget > 0 && resident+int64(t.bucketBytes[p]) <= budget)
+				if keep {
+					resident += int64(t.bucketBytes[p])
+					parts[p][src] = append(parts[p][src], ResidentSegment(t.buckets[p], sorted))
+					continue
 				}
+				if shuffleFile == nil {
+					var err error
+					if shuffleFile, err = c.newSpillFile(); err != nil {
+						return stat, err
+					}
+				}
+				seg, err := shuffleFile.writeSegment(t.buckets[p], sorted)
+				if err != nil {
+					return stat, err
+				}
+				parts[p][src] = append(parts[p][src], seg)
+				t.buckets[p] = nil // evicted
 			}
-		}()
+		}
 	}
-	cwg.Wait()
+	if shuffleFile != nil {
+		// Shuffle runs are consumed only by this stage's reducers.
+		defer c.releaseSpillFile(shuffleFile)
+	}
 	for _, t := range tasks {
-		stat.InputRows += len(t.rows)
+		stat.InputRows += t.stat.Rows
 		stat.ShuffleRows += t.dups
 		stat.ShuffleBytes += t.bytes
 		stat.Maps = append(stat.Maps, t.stat)
-		t.buckets = nil // release before the reduce phase
+		t.buckets = nil // resident runs stay referenced by their segments
 	}
 
 	// ---- Reduce phase: run reducers on a bounded worker pool ----
@@ -474,8 +626,10 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	var wg sync.WaitGroup
 	for p := 0; p < nparts; p++ {
 		n := 0
-		for _, rows := range parts[p] {
-			n += len(rows)
+		for _, segs := range parts[p] {
+			for i := range segs {
+				n += segs[i].Len()
+			}
 		}
 		if n == 0 {
 			continue
@@ -486,6 +640,19 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			res := result{part: p, stat: TaskStat{Stage: s.Name, Partition: p, Rows: n}}
+			// The materialized-input compat paths (Reduce, ReduceRuns)
+			// decode spilled runs once, before the attempt loop: retried
+			// attempts rerun on the same input, as before.
+			var in [][]Row
+			var runs [][]int
+			if s.ReduceSegments == nil {
+				var err error
+				if in, runs, err = materializeRuns(parts[p]); err != nil {
+					res.err = err
+					results[p] = res
+					return
+				}
+			}
 			succeeded := false
 			var lastPanic any
 			for attempt := 1; attempt <= c.Cfg.MaxAttempts; attempt++ {
@@ -507,10 +674,13 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 							lastPanic = rec
 						}
 					}()
-					if s.ReduceRuns != nil {
-						err = s.ReduceRuns(p, parts[p], runs[p], emit)
-					} else {
-						err = s.Reduce(p, parts[p], emit)
+					switch {
+					case s.ReduceSegments != nil:
+						err = s.ReduceSegments(p, parts[p], emit)
+					case s.ReduceRuns != nil:
+						err = s.ReduceRuns(p, in, runs, emit)
+					default:
+						err = s.Reduce(p, in, emit)
 					}
 				}()
 				if fail || panicked {
@@ -543,7 +713,13 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	}
 	wg.Wait()
 
-	out := &Dataset{Schema: s.OutSchema, Partitions: make([][]Row, nparts)}
+	// ---- Output assembly: resident up to the budget, spilled beyond ----
+	// Output keeps its own budget pass (the shuffle runs are dead by now).
+	// Spilled output segments are capped at mapChunkRows so a downstream
+	// map phase gets bounded tasks.
+	out := NewDataset(s.OutSchema, nparts)
+	var outFile *spillFile
+	var outResident int64
 	for p := range results {
 		res := &results[p]
 		if res.stat.Rows == 0 {
@@ -554,15 +730,78 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 		}
 		stat.Failures += res.stat.Attempts - 1
 		stat.Tasks = append(stat.Tasks, res.stat)
-		out.Partitions[p] = res.rows
 		stat.OutputRows += len(res.rows)
+		if budget == 0 {
+			out.Append(p, res.rows)
+			continue
+		}
+		for off := 0; off < len(res.rows); off += mapChunkRows {
+			end := off + mapChunkRows
+			if end > len(res.rows) {
+				end = len(res.rows)
+			}
+			chunk := res.rows[off:end]
+			var chunkBytes int64
+			for _, r := range chunk {
+				chunkBytes += int64(RowBytes(r))
+			}
+			if budget > 0 && outResident+chunkBytes <= budget {
+				outResident += chunkBytes
+				out.Append(p, chunk)
+				continue
+			}
+			if outFile == nil {
+				var err error
+				if outFile, err = c.newSpillFile(); err != nil {
+					return stat, err
+				}
+			}
+			seg, err := outFile.writeSegment(chunk, false)
+			if err != nil {
+				return stat, err
+			}
+			out.AppendSegment(p, seg)
+		}
 	}
 	if s.Output != "" {
 		c.FS.Write(s.Output, out)
 	}
+	ioEnd := c.spillAcct.snapshot()
+	stat.SpillSegments = int(ioEnd.segments - ioStart.segments)
+	stat.SpillBytes = ioEnd.bytes - ioStart.bytes
+	stat.SpillReadBytes = ioEnd.readBytes - ioStart.readBytes
+	stat.SpillReadNs = ioEnd.readNs - ioStart.readNs
 	stat.WallTime = time.Since(start)
 	c.emitStageMetrics(stat)
 	return stat, nil
+}
+
+// materializeRuns builds the contiguous per-source row slices (and run
+// lengths) the materialized reducer signatures expect, decoding spilled
+// runs as needed.
+func materializeRuns(segs [][]Segment) (in [][]Row, runs [][]int, err error) {
+	in = make([][]Row, len(segs))
+	runs = make([][]int, len(segs))
+	for src, list := range segs {
+		total := 0
+		for i := range list {
+			total += list[i].Len()
+		}
+		if total == 0 {
+			continue
+		}
+		rows := make([]Row, 0, total)
+		for i := range list {
+			mat, err := list[i].Materialize()
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, mat...)
+			runs[src] = append(runs[src], list[i].Len())
+		}
+		in[src] = rows
+	}
+	return in, runs, nil
 }
 
 // emitStageMetrics publishes a completed stage's accounting into the
@@ -582,6 +821,10 @@ func (c *Cluster) emitStageMetrics(stat *StageStat) {
 	sc.Counter("map_ns").Add(int64(stat.TotalMapTime()))
 	sc.Counter("failures").Add(int64(stat.Failures))
 	sc.Counter("retry_ns").Add(int64(stat.TotalRetryTime()))
+	sc.Counter("spill_segments").Add(int64(stat.SpillSegments))
+	sc.Counter("spill_bytes").Add(stat.SpillBytes)
+	sc.Counter("spill_read_bytes").Add(stat.SpillReadBytes)
+	sc.Counter("spill_read_ns").Add(stat.SpillReadNs)
 	sc.Gauge("max_task_rows").SetMax(int64(stat.MaxTaskRows()))
 	// Skew ×100 so the integer gauge keeps two decimals of resolution.
 	sc.Gauge("row_skew_x100").SetMax(int64(stat.RowSkew() * 100))

@@ -92,7 +92,9 @@ func TestFSBasics(t *testing.T) {
 }
 
 func TestDatasetFlatten(t *testing.T) {
-	d := &Dataset{Schema: kvSchema(), Partitions: [][]Row{kvRows(3), kvRows(2)}}
+	d := NewDataset(kvSchema(), 2)
+	d.Append(0, kvRows(3))
+	d.Append(1, kvRows(2))
 	if d.Rows() != 5 || len(d.Flatten()) != 5 {
 		t.Errorf("Rows/Flatten mismatch")
 	}

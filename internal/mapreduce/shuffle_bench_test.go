@@ -32,9 +32,9 @@ func benchShuffleInput() *Dataset {
 		)
 		const inParts = 16
 		per := benchShuffleRows / inParts
-		ds := &Dataset{Schema: schema, Partitions: make([][]Row, inParts)}
+		ds := NewDataset(schema, inParts)
 		v := 0
-		for p := range ds.Partitions {
+		for p := 0; p < inParts; p++ {
 			rows := make([]Row, per)
 			for i := range rows {
 				rows[i] = Row{
@@ -44,7 +44,7 @@ func benchShuffleInput() *Dataset {
 				}
 				v++
 			}
-			ds.Partitions[p] = rows
+			ds.Append(p, rows)
 		}
 		shuffleBenchDS = ds
 	})
@@ -73,3 +73,44 @@ func benchShuffle(b *testing.B, mapWorkers int) {
 
 func BenchmarkShuffle_1M_Serial(b *testing.B)   { benchShuffle(b, 1) }
 func BenchmarkShuffle_1M_Parallel(b *testing.B) { benchShuffle(b, 0) }
+
+// benchSpill runs the same 1M-row repartition but with a reducer that
+// consumes its input, so a spilling run pays both the encode/write and
+// the streamed read-back — the end-to-end out-of-core cost against the
+// resident reference.
+func benchSpill(b *testing.B, budget int64) {
+	ds := benchShuffleInput()
+	st := Stage{
+		Name: "spill", Inputs: []string{"in"}, Output: "out", OutSchema: ds.Schema,
+		NumPartitions: 64,
+		Partition:     PartitionByCols([][]int{{0, 2}}),
+		ReduceSegments: func(part int, in [][]Segment, emit func(Row)) error {
+			rd := NewRowReader(in[0]...)
+			for {
+				_, ok, err := rd.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+		},
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(Config{Machines: 64, MemoryBudget: budget, SpillDir: dir})
+		c.FS.Write("in", ds)
+		if _, err := c.Run(st); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.Rows())*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkSpill_1M_Resident(b *testing.B) { benchSpill(b, 0) }
+func BenchmarkSpill_1M_SpillAll(b *testing.B) { benchSpill(b, SpillAll) }

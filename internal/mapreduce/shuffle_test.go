@@ -31,15 +31,15 @@ func identityStage(in, out string) Stage {
 // multiPartitionInput builds a dataset with several partitions so the map
 // phase produces several tasks even below the chunking threshold.
 func multiPartitionInput(nparts, rowsPer int) *Dataset {
-	ds := &Dataset{Schema: kvSchema(), Partitions: make([][]Row, nparts)}
+	ds := NewDataset(kvSchema(), nparts)
 	v := 0
-	for p := range ds.Partitions {
+	for p := 0; p < nparts; p++ {
 		rows := make([]Row, rowsPer)
 		for i := range rows {
 			rows[i] = Row{temporal.Int(int64(v % 13)), temporal.Int(int64(v))}
 			v++
 		}
-		ds.Partitions[p] = rows
+		ds.Append(p, rows)
 	}
 	return ds
 }
@@ -88,12 +88,11 @@ func TestShuffleThreadsRunBoundaries(t *testing.T) {
 	// Each input partition arrives at the reducer as one run (below the
 	// chunking threshold), in input-partition order.
 	c := NewCluster(Config{Machines: 4})
-	in := &Dataset{Schema: kvSchema(), Partitions: [][]Row{
-		{{temporal.Int(1), temporal.Int(10)}, {temporal.Int(2), temporal.Int(20)}},
-		{{temporal.Int(3), temporal.Int(30)}},
-		{}, // empty partitions contribute no run
-		{{temporal.Int(4), temporal.Int(40)}, {temporal.Int(5), temporal.Int(50)}, {temporal.Int(6), temporal.Int(60)}},
-	}}
+	in := NewDataset(kvSchema(), 4)
+	in.Append(0, []Row{{temporal.Int(1), temporal.Int(10)}, {temporal.Int(2), temporal.Int(20)}})
+	in.Append(1, []Row{{temporal.Int(3), temporal.Int(30)}})
+	// partition 2 stays empty: empty partitions contribute no run
+	in.Append(3, []Row{{temporal.Int(4), temporal.Int(40)}, {temporal.Int(5), temporal.Int(50)}, {temporal.Int(6), temporal.Int(60)}})
 	c.FS.Write("in", in)
 	var gotRuns [][]int
 	var gotRows []Row

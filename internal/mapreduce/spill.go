@@ -1,0 +1,327 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timr/internal/temporal"
+)
+
+// Out-of-core data plane. A partition of a Dataset — and the shuffle
+// output handed to a reducer — is an ordered list of Segments, each
+// either resident (a []Row) or spilled to a temp file. Spilled segments
+// are streams of length-prefixed rows in the shared binary row codec
+// (internal/temporal/codec.go), the same encoding operator checkpoints
+// use, so one codec serves both persistence layers.
+//
+// Spill is a budget decision, not a correctness one: the row order a
+// consumer observes through a RowReader is identical whether a segment
+// is resident or spilled, which is what makes pipeline output
+// bit-identical across every MemoryBudget setting.
+
+// maxSpillFrame caps a single row frame; a longer length prefix means
+// the file is corrupt, and failing beats allocating attacker-sized
+// buffers.
+const maxSpillFrame = 1 << 30
+
+// spillIO aggregates spill traffic. Cluster-owned files share the
+// cluster's accumulator, so a stage's spill activity is the
+// before/after delta; standalone files (tests) get their own.
+type spillIO struct {
+	segments  atomic.Int64
+	bytes     atomic.Int64
+	readBytes atomic.Int64
+	readNs    atomic.Int64
+}
+
+// spillCounts is a point-in-time copy of a spillIO.
+type spillCounts struct {
+	segments, bytes, readBytes, readNs int64
+}
+
+func (s *spillIO) snapshot() spillCounts {
+	return spillCounts{
+		segments:  s.segments.Load(),
+		bytes:     s.bytes.Load(),
+		readBytes: s.readBytes.Load(),
+		readNs:    s.readNs.Load(),
+	}
+}
+
+// spillFile is one temp file holding many segments back to back. Writes
+// are buffered and serialized under mu; the first read seals the file
+// (flushes the buffer), after which concurrent readers use ReadAt
+// through independent SectionReaders.
+type spillFile struct {
+	path string
+	io   *spillIO
+
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer // non-nil until sealed
+	off int64
+}
+
+func createSpillFile(dir string, acct *spillIO) (*spillFile, error) {
+	f, err := os.CreateTemp(dir, "seg-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: create spill file: %w", err)
+	}
+	return &spillFile{
+		path: f.Name(),
+		io:   acct,
+		f:    f,
+		w:    bufio.NewWriterSize(f, 64<<10),
+	}, nil
+}
+
+// writeSegment appends rows as one spilled segment and returns it.
+func (sf *spillFile) writeSegment(rows []Row, sorted bool) (Segment, error) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.w == nil {
+		return Segment{}, fmt.Errorf("mapreduce: spill file %s already sealed for reading", sf.path)
+	}
+	start := sf.off
+	var enc temporal.Encoder
+	var hdr [binary.MaxVarintLen64]byte
+	for _, r := range rows {
+		enc.Reset()
+		enc.Row(r)
+		n := binary.PutUvarint(hdr[:], uint64(enc.Len()))
+		if _, err := sf.w.Write(hdr[:n]); err != nil {
+			return Segment{}, fmt.Errorf("mapreduce: spill write: %w", err)
+		}
+		if _, err := sf.w.Write(enc.Bytes()); err != nil {
+			return Segment{}, fmt.Errorf("mapreduce: spill write: %w", err)
+		}
+		sf.off += int64(n) + int64(enc.Len())
+	}
+	size := sf.off - start
+	sf.io.segments.Add(1)
+	sf.io.bytes.Add(size)
+	return Segment{file: sf, off: start, size: size, n: len(rows), sorted: sorted}, nil
+}
+
+// seal flushes buffered writes and switches the file to read mode.
+func (sf *spillFile) seal() error {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.w != nil {
+		if err := sf.w.Flush(); err != nil {
+			return fmt.Errorf("mapreduce: spill flush: %w", err)
+		}
+		sf.w = nil
+	}
+	return nil
+}
+
+// close releases the handle and deletes the file; segments pointing at
+// it become unreadable.
+func (sf *spillFile) close() error {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	sf.w = nil
+	err := sf.f.Close()
+	if rmErr := os.Remove(sf.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// countingReader charges read bytes and wall time to the file's spillIO.
+type countingReader struct {
+	r  io.Reader
+	io *spillIO
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := c.r.Read(p)
+	c.io.readBytes.Add(int64(n))
+	c.io.readNs.Add(int64(time.Since(t0)))
+	return n, err
+}
+
+// Segment is one contiguous chunk of a partition: either resident rows
+// or a byte range of a spill file. Segments are immutable once built;
+// copying the struct is cheap and safe.
+type Segment struct {
+	rows   []Row
+	file   *spillFile
+	off    int64
+	size   int64
+	n      int
+	sorted bool
+}
+
+// ResidentSegment wraps rows (borrowed, not copied) as an in-memory
+// segment. sorted declares that the rows are ordered by the stage's run
+// key (see Stage.RunKey) — callers that cannot vouch for it must pass
+// false.
+func ResidentSegment(rows []Row, sorted bool) Segment {
+	return Segment{rows: rows, n: len(rows), sorted: sorted}
+}
+
+// Len returns the row count.
+func (s *Segment) Len() int { return s.n }
+
+// Spilled reports whether the segment lives in a spill file.
+func (s *Segment) Spilled() bool { return s.file != nil }
+
+// Sorted reports whether the rows are ordered by the producing stage's
+// run key. Unsorted spilled segments must be materialized and sorted by
+// the consumer; sorted ones can stream through a k-way merge.
+func (s *Segment) Sorted() bool { return s.sorted }
+
+// Resident returns the in-memory rows (borrowed), or nil for spilled
+// segments.
+func (s *Segment) Resident() []Row { return s.rows }
+
+// SpilledBytes returns the on-disk size of a spilled segment (0 when
+// resident).
+func (s *Segment) SpilledBytes() int64 { return s.size }
+
+// Materialize returns all rows of the segment: the underlying slice
+// (borrowed — callers must not mutate) when resident, a fresh decode of
+// the spill file range otherwise.
+func (s *Segment) Materialize() ([]Row, error) {
+	if s.file == nil {
+		return s.rows, nil
+	}
+	out := make([]Row, 0, s.n)
+	rd := NewRowReader(*s)
+	for {
+		r, ok, err := rd.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// Open returns a pull iterator over the segment's rows.
+func (s *Segment) Open() *RowReader { return NewRowReader(*s) }
+
+// SpillRows writes rows as one spilled segment into a fresh temp file
+// under dir, returning the segment and a release func that closes and
+// deletes the file. It exists for tests that need spilled segments
+// without running a Cluster; production spill goes through the
+// cluster's MemoryBudget machinery.
+func SpillRows(dir string, rows []Row, sorted bool) (Segment, func() error, error) {
+	sf, err := createSpillFile(dir, &spillIO{})
+	if err != nil {
+		return Segment{}, nil, err
+	}
+	seg, err := sf.writeSegment(rows, sorted)
+	if err != nil {
+		sf.close()
+		return Segment{}, nil, err
+	}
+	return seg, sf.close, nil
+}
+
+// RowReader is a pull iterator over the rows of a segment list, in
+// order. Resident segments are walked in place (no copies, no decode);
+// spilled segments stream through a buffered reader one row frame at a
+// time, so a reducer's working set stays bounded no matter how large
+// its input partition is.
+//
+// A RowReader is single-goroutine; open one reader per consumer.
+type RowReader struct {
+	segs []Segment
+	i    int // next segment
+	err  error
+
+	// current resident segment
+	rows []Row
+	ri   int
+
+	// current spilled segment
+	br  *bufio.Reader
+	rem int
+	buf []byte
+	dec temporal.Decoder
+}
+
+// NewRowReader returns a reader over the given segments in order.
+func NewRowReader(segs ...Segment) *RowReader {
+	return &RowReader{segs: segs}
+}
+
+// Next returns the next row. ok is false when the input is exhausted.
+// After an error, every subsequent call returns the same error.
+func (r *RowReader) Next() (row Row, ok bool, err error) {
+	for {
+		if r.err != nil {
+			return nil, false, r.err
+		}
+		if r.rows != nil {
+			if r.ri < len(r.rows) {
+				row = r.rows[r.ri]
+				r.ri++
+				return row, true, nil
+			}
+			r.rows = nil
+		}
+		if r.br != nil {
+			if r.rem > 0 {
+				row, r.err = r.readFrame()
+				if r.err != nil {
+					return nil, false, r.err
+				}
+				r.rem--
+				return row, true, nil
+			}
+			r.br = nil
+		}
+		if r.i >= len(r.segs) {
+			return nil, false, nil
+		}
+		seg := &r.segs[r.i]
+		r.i++
+		if seg.file == nil {
+			r.rows, r.ri = seg.rows, 0
+			continue
+		}
+		if err := seg.file.seal(); err != nil {
+			r.err = err
+			return nil, false, r.err
+		}
+		src := io.NewSectionReader(seg.file.f, seg.off, seg.size)
+		r.br = bufio.NewReaderSize(&countingReader{r: src, io: seg.file.io}, 32<<10)
+		r.rem = seg.n
+	}
+}
+
+func (r *RowReader) readFrame() (Row, error) {
+	ln, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: spill read: %w", err)
+	}
+	if ln > maxSpillFrame {
+		return nil, fmt.Errorf("mapreduce: spill frame of %d bytes exceeds cap (corrupt spill file)", ln)
+	}
+	if uint64(cap(r.buf)) < ln {
+		r.buf = make([]byte, ln)
+	}
+	buf := r.buf[:ln]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("mapreduce: spill read: %w", err)
+	}
+	r.dec.Reset(buf)
+	row := r.dec.Row()
+	if err := r.dec.Done(); err != nil {
+		return nil, err
+	}
+	return row, nil
+}

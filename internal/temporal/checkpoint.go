@@ -1,16 +1,11 @@
 package temporal
 
-import (
-	"encoding/binary"
-	"fmt"
-	"math"
-)
-
 // Checkpointing gives every stateful physical operator a compact,
 // deterministic byte encoding of its live state, so an engine can be
 // snapshotted between input batches and rebuilt elsewhere (a crashed
-// streaming partition, a preempted worker). The encoding is stdlib-only
-// varints; no reflection, no per-type registries.
+// streaming partition, a preempted worker). The encoding is the shared
+// binary row codec (codec.go): stdlib-only varints, no reflection, no
+// per-type registries.
 //
 // Two invariants make the snapshots usable:
 //
@@ -52,246 +47,18 @@ const (
 	ckGroupApply byte = 0x08
 )
 
-// SnapshotWriter accumulates the checkpoint byte stream. The zero value
-// is ready to use.
-type SnapshotWriter struct {
-	buf []byte
-}
+// SnapshotWriter accumulates a checkpoint byte stream. It is the shared
+// codec Encoder under a checkpoint-flavored name; the alias keeps every
+// operator's Snapshot signature stable while spill files reuse the same
+// encoding.
+type SnapshotWriter = Encoder
 
-// Bytes returns the accumulated encoding.
-func (w *SnapshotWriter) Bytes() []byte { return w.buf }
-
-// Byte appends a raw byte (operator tags).
-func (w *SnapshotWriter) Byte(b byte) { w.buf = append(w.buf, b) }
-
-// Uvarint appends an unsigned varint.
-func (w *SnapshotWriter) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
-
-// Varint appends a signed (zig-zag) varint; Time values use this.
-func (w *SnapshotWriter) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
-
-// Bool appends a boolean as one byte.
-func (w *SnapshotWriter) Bool(b bool) {
-	if b {
-		w.Byte(1)
-	} else {
-		w.Byte(0)
-	}
-}
-
-// String appends a length-prefixed string.
-func (w *SnapshotWriter) String(s string) {
-	w.Uvarint(uint64(len(s)))
-	w.buf = append(w.buf, s...)
-}
-
-// Value appends one tagged value.
-func (w *SnapshotWriter) Value(v Value) {
-	w.Byte(byte(v.kind))
-	switch v.kind {
-	case KindNull:
-	case KindFloat:
-		w.Uvarint(math.Float64bits(v.f))
-	case KindString:
-		w.String(v.s)
-	default: // int, bool
-		w.Varint(v.i)
-	}
-}
-
-// Row appends a length-prefixed row.
-func (w *SnapshotWriter) Row(r Row) {
-	w.Uvarint(uint64(len(r)))
-	for _, v := range r {
-		w.Value(v)
-	}
-}
-
-// Event appends one event (lifetime + payload).
-func (w *SnapshotWriter) Event(e Event) {
-	w.Varint(e.LE)
-	w.Varint(e.RE)
-	w.Row(e.Payload)
-}
-
-// Events appends a count-prefixed event slice in the given order.
-func (w *SnapshotWriter) Events(evs []Event) {
-	w.Uvarint(uint64(len(evs)))
-	for _, e := range evs {
-		w.Event(e)
-	}
-}
-
-// SnapshotReader decodes a checkpoint byte stream. Errors are sticky:
-// after the first failure every read returns zero values and Err reports
-// the failure, so operator restore code can decode straight through and
-// check once. Every length and count is bounds-checked against the bytes
-// actually remaining, so corrupt (or fuzzed) input fails cleanly instead
-// of ballooning allocations.
-type SnapshotReader struct {
-	data []byte
-	pos  int
-	err  error
-}
+// SnapshotReader decodes a checkpoint byte stream (the shared codec
+// Decoder; see codec.go for the sticky-error and bounds-checking
+// contract).
+type SnapshotReader = Decoder
 
 // NewSnapshotReader wraps a checkpoint byte stream.
 func NewSnapshotReader(data []byte) *SnapshotReader {
-	return &SnapshotReader{data: data}
-}
-
-// Err returns the first decode error, if any.
-func (r *SnapshotReader) Err() error { return r.err }
-
-func (r *SnapshotReader) fail(format string, args ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf("temporal: checkpoint: "+format, args...)
-	}
-}
-
-func (r *SnapshotReader) remaining() int { return len(r.data) - r.pos }
-
-// Failf records and returns a decode error; operator Restore methods use
-// it for structural mismatches the byte-level reads cannot detect.
-func (r *SnapshotReader) Failf(format string, args ...any) error {
-	r.fail(format, args...)
-	return r.err
-}
-
-// Byte reads one raw byte.
-func (r *SnapshotReader) Byte() byte {
-	if r.err != nil {
-		return 0
-	}
-	if r.pos >= len(r.data) {
-		r.fail("unexpected end of snapshot")
-		return 0
-	}
-	b := r.data[r.pos]
-	r.pos++
-	return b
-}
-
-// Expect reads one tag byte and fails unless it matches.
-func (r *SnapshotReader) Expect(tag byte, what string) error {
-	if got := r.Byte(); r.err == nil && got != tag {
-		r.fail("expected %s tag 0x%02x, found 0x%02x", what, tag, got)
-	}
-	return r.err
-}
-
-// Uvarint reads an unsigned varint.
-func (r *SnapshotReader) Uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.data[r.pos:])
-	if n <= 0 {
-		r.fail("bad uvarint at offset %d", r.pos)
-		return 0
-	}
-	r.pos += n
-	return v
-}
-
-// Varint reads a signed varint.
-func (r *SnapshotReader) Varint() int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(r.data[r.pos:])
-	if n <= 0 {
-		r.fail("bad varint at offset %d", r.pos)
-		return 0
-	}
-	r.pos += n
-	return v
-}
-
-// Bool reads a one-byte boolean.
-func (r *SnapshotReader) Bool() bool { return r.Byte() != 0 }
-
-// Count reads an element count and sanity-checks it against the bytes
-// remaining (every element costs at least one byte), so a corrupt count
-// cannot drive a huge allocation.
-func (r *SnapshotReader) Count(what string) int {
-	n := r.Uvarint()
-	if r.err == nil && n > uint64(r.remaining()) {
-		r.fail("%s count %d exceeds remaining %d bytes", what, n, r.remaining())
-		return 0
-	}
-	return int(n)
-}
-
-// String reads a length-prefixed string.
-func (r *SnapshotReader) String() string {
-	n := r.Uvarint()
-	if r.err != nil {
-		return ""
-	}
-	if n > uint64(r.remaining()) {
-		r.fail("string length %d exceeds remaining %d bytes", n, r.remaining())
-		return ""
-	}
-	s := string(r.data[r.pos : r.pos+int(n)])
-	r.pos += int(n)
-	return s
-}
-
-// Value reads one tagged value.
-func (r *SnapshotReader) Value() Value {
-	kind := Kind(r.Byte())
-	switch kind {
-	case KindNull:
-		return Null
-	case KindFloat:
-		return Float(math.Float64frombits(r.Uvarint()))
-	case KindString:
-		return Value{kind: KindString, s: r.String()}
-	case KindInt, KindBool:
-		return Value{kind: kind, i: r.Varint()}
-	default:
-		r.fail("unknown value kind %d", kind)
-		return Null
-	}
-}
-
-// Row reads a length-prefixed row.
-func (r *SnapshotReader) Row() Row {
-	n := r.Count("row")
-	if r.err != nil || n == 0 {
-		return nil
-	}
-	row := make(Row, n)
-	for i := range row {
-		row[i] = r.Value()
-	}
-	return row
-}
-
-// Event reads one event.
-func (r *SnapshotReader) Event() Event {
-	le := r.Varint()
-	re := r.Varint()
-	return Event{LE: le, RE: re, Payload: r.Row()}
-}
-
-// Events reads a count-prefixed event slice.
-func (r *SnapshotReader) Events() []Event {
-	n := r.Count("events")
-	if r.err != nil || n == 0 {
-		return nil
-	}
-	evs := make([]Event, 0, n)
-	for i := 0; i < n && r.err == nil; i++ {
-		evs = append(evs, r.Event())
-	}
-	return evs
-}
-
-// Done fails unless the stream was consumed exactly.
-func (r *SnapshotReader) Done() error {
-	if r.err == nil && r.pos != len(r.data) {
-		r.fail("%d trailing bytes", len(r.data)-r.pos)
-	}
-	return r.err
+	return NewDecoder(data)
 }

@@ -1,0 +1,152 @@
+package temporal
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func codecSampleRows() []Row {
+	return []Row{
+		nil,
+		{Int(0)},
+		{Int(-1), Int(1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(-0.0), Float(math.Pi), Float(math.Inf(1)), Float(math.NaN())},
+		{String(""), String("user-42"), String("héllo\x00world")},
+		{Bool(true), Bool(false), Null},
+		{Int(7), Float(2.5), String("mixed"), Bool(true), Null},
+	}
+}
+
+func TestRowCodecRoundtrip(t *testing.T) {
+	for _, want := range codecSampleRows() {
+		var w Encoder
+		w.Row(want)
+		r := NewDecoder(w.Bytes())
+		got := r.Row()
+		if err := r.Done(); err != nil {
+			t.Fatalf("decode %v: %v", want, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("row %v roundtripped to %v", want, got)
+		}
+		for i := range want {
+			// NaN != NaN under Equal's float compare; compare bits.
+			if want[i].Kind() == KindFloat {
+				if math.Float64bits(want[i].AsFloat()) != math.Float64bits(got[i].AsFloat()) {
+					t.Fatalf("col %d: float %v -> %v", i, want[i], got[i])
+				}
+			} else if !want[i].Equal(got[i]) {
+				t.Fatalf("col %d: %v -> %v", i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestRowCodecDeterministic(t *testing.T) {
+	rows := codecSampleRows()
+	var a, b Encoder
+	for _, r := range rows {
+		a.Row(r)
+		b.Row(r)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same rows encoded to different bytes")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	var w Encoder
+	w.Row(Row{Int(1), String("abc")})
+	first := append([]byte(nil), w.Bytes()...)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.Row(Row{Int(1), String("abc")})
+	if !bytes.Equal(first, w.Bytes()) {
+		t.Fatal("encoding changed after Reset")
+	}
+}
+
+func TestDecoderReset(t *testing.T) {
+	r := NewDecoder([]byte{0xff}) // bad: truncated uvarint-ish garbage row
+	r.Row()
+	if r.Err() == nil {
+		t.Fatal("expected sticky error on garbage input")
+	}
+	var w Encoder
+	w.Row(Row{Int(5)})
+	r.Reset(w.Bytes())
+	if r.Err() != nil {
+		t.Fatalf("Reset did not clear error: %v", r.Err())
+	}
+	got := r.Row()
+	if err := r.Done(); err != nil || len(got) != 1 || got[0].AsInt() != 5 {
+		t.Fatalf("after Reset: got %v err %v", got, err)
+	}
+}
+
+func TestDecoderCorruptInputsError(t *testing.T) {
+	cases := map[string][]byte{
+		"empty row read":     {},
+		"huge row count":     {0xff, 0xff, 0xff, 0xff, 0x0f},
+		"unknown kind":       {0x01, 0x7f},
+		"truncated string":   {0x01, byte(KindString), 0x10, 'a'},
+		"truncated varint":   {0x01, byte(KindInt), 0x80},
+		"string count bomb":  {0x01, byte(KindString), 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"overlong uvarint":   bytes.Repeat([]byte{0x80}, 11),
+		"trailing row bytes": {0x00, 0x00},
+	}
+	for name, data := range cases {
+		r := NewDecoder(data)
+		r.Row()
+		if name == "trailing row bytes" {
+			if err := r.Done(); err == nil {
+				t.Errorf("%s: Done accepted trailing bytes", name)
+			}
+			continue
+		}
+		if r.Err() == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// FuzzRowCodecRoundtrip feeds arbitrary bytes to the row decoder:
+// corrupt input must fail with a sticky error — never panic — and any
+// input that does decode cleanly must re-encode to the identical bytes
+// (the codec is deterministic and canonical).
+func FuzzRowCodecRoundtrip(f *testing.F) {
+	for _, r := range codecSampleRows() {
+		var w Encoder
+		w.Row(r)
+		f.Add(w.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewDecoder(data)
+		row := r.Row()
+		if err := r.Done(); err != nil {
+			return // corrupt input rejected cleanly, as required
+		}
+		// The input may use non-minimal varints, so it need not equal its
+		// re-encoding byte-for-byte — but encode∘decode must be a fixed
+		// point: the canonical encoding decodes to the same row and
+		// re-encodes to the same bytes.
+		var w Encoder
+		w.Row(row)
+		canon := append([]byte(nil), w.Bytes()...)
+		r2 := NewDecoder(canon)
+		row2 := r2.Row()
+		if err := r2.Done(); err != nil {
+			t.Fatalf("canonical re-encoding of %x failed to decode: %v", data, err)
+		}
+		var w2 Encoder
+		w2.Row(row2)
+		if !bytes.Equal(canon, w2.Bytes()) {
+			t.Fatalf("encode∘decode not idempotent: %x -> %x", canon, w2.Bytes())
+		}
+	})
+}

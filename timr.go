@@ -312,6 +312,11 @@ const (
 	StreamKeyword    = workload.StreamKeyword
 )
 
+// SpillAll is the ClusterConfig.MemoryBudget sentinel that forces every
+// shuffle bucket and stage output to spill (useful for out-of-core
+// testing; 0 keeps everything resident).
+const SpillAll = mapreduce.SpillAll
+
 // Supporting constructors.
 var (
 	GenerateWorkload       = workload.Generate
@@ -326,4 +331,5 @@ var (
 	NewFEx                 = baseline.NewFEx
 	IdentityScheme         = baseline.Identity
 	ScopeRunningClickCount = baseline.ScopeRunningClickCount
+	SliceRowSource         = baseline.SliceSource
 )
