@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations chaos spillgate check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -45,10 +45,19 @@ chaos:
 spillgate:
 	$(GO) test -race -count=1 -run 'TestPipelineLowBudget|TestSpillBudgetEquivalence|TestMemoryBudgetOutputEquivalence' ./internal/bt/ ./internal/core/ ./internal/mapreduce/
 
+# Short fuzz sweep over every decoder that parses untrusted bytes: the
+# row codec, the columnar block format, and checkpoint images. Corrupt
+# input must error — never panic, never over-allocate. 10s per target
+# keeps the gate fast; longer runs reuse the same corpus.
+fuzzgate:
+	$(GO) test -run '^$$' -fuzz 'FuzzRowCodecRoundtrip' -fuzztime 10s ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz 'FuzzColBlockRoundtrip' -fuzztime 10s ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundtrip' -fuzztime 10s ./internal/temporal/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race chaos spillgate
+check: vet fmt deprecations race chaos spillgate fuzzgate
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -56,4 +65,4 @@ bench:
 # Headline benchmarks (shuffle, Fig. 15/16, engine feed path) as
 # machine-readable JSON — the perf trajectory file compared across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr6.json

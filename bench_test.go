@@ -442,6 +442,38 @@ func BenchmarkEngineFeed_Batched(b *testing.B) {
 	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// BenchmarkEngineFeed_Columnar feeds the same event stream as columnar
+// batches (the decode-once ingest shape): each batch is materialized to
+// events once at the engine boundary, so the cost over Batched is the
+// column-to-row transpose alone.
+func BenchmarkEngineFeed_Columnar(b *testing.B) {
+	plan, events := engineFeedFixture(b)
+	sink := &temporal.Collector{}
+	const batchSize = 1024
+	ncols := len(events[0].Payload)
+	var batches []*temporal.ColBatch
+	for off := 0; off < len(events); off += batchSize {
+		end := off + batchSize
+		if end > len(events) {
+			end = len(events)
+		}
+		batches = append(batches, temporal.ColBatchFromEvents(events[off:end], ncols))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		eng, err := temporal.NewEngine(plan, temporal.WithSink(sink))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cb := range batches {
+			eng.FeedColBatch("in", cb)
+		}
+		eng.Flush()
+	}
+	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // Facade smoke check: the public API surface used by the examples.
 func TestFacadeSmoke(t *testing.T) {
 	schema := timr.NewSchema(

@@ -160,6 +160,20 @@ func (j *StreamingJob) FeedBatch(source string, events []temporal.Event) error {
 	return nil
 }
 
+// FeedColBatch pushes a columnar source batch into the dataflow. The
+// batch is materialized to events once here — the only point that needs
+// the row view — and then routed exactly like FeedBatch, so decode-once
+// ingest and per-event ingest produce identical downstream output.
+func (j *StreamingJob) FeedColBatch(source string, cb *temporal.ColBatch) error {
+	if cb == nil || cb.Len() == 0 {
+		if j.flushed {
+			return ErrFlushed
+		}
+		return nil
+	}
+	return j.FeedBatch(source, cb.MaterializeEvents(nil))
+}
+
 // Advance propagates a punctuation wave through the DAG: stage by stage
 // in topological order, each stage first releases everything the wave
 // guarantees complete, then punctuates its engines, whose flushed output

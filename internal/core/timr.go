@@ -172,6 +172,9 @@ func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
 	// inline, so spilled runs can stream through the merge without a
 	// re-read (and unsorted ones fall back to materialize+sort).
 	st.RunKey = runKeyFn(frag)
+	// The same key, declared positionally so the columnar map fast path
+	// can read it straight off an int64 column without building rows.
+	st.RunKeyCols = runKeyCols(frag)
 
 	if frag.Part.Temporal {
 		if err := t.temporalStage(&st, frag); err != nil {
@@ -191,7 +194,9 @@ func (t *TiMR) Stage(frag *Fragment) (mapreduce.Stage, error) {
 		for i, in := range frag.Inputs {
 			cols[i] = partitionCols(in, frag.Inputs[i].Part.Cols)
 		}
-		st.Partition = mapreduce.PartitionByCols(cols)
+		// Declared positionally (not as a Partition closure) so columnar
+		// map input hashes whole columns without materializing rows.
+		st.PartitionCols = cols
 	}
 
 	st.ReduceSegments = t.reducer(frag, nil)
@@ -217,6 +222,23 @@ func runKeyFn(frag *Fragment) func(mapreduce.Row, int) int64 {
 		}
 		return r[timeCols[src]].AsInt()
 	}
+}
+
+// runKeyCols is runKeyFn expressed positionally: the int64 column each
+// input's run key lives in (the LE lifetime column for intermediate
+// inputs, the Time column for raw sources). Keeping the two in lockstep
+// is what lets the columnar fast path skip row materialization while
+// producing the same run annotations as runKeyFn.
+func runKeyCols(frag *Fragment) []int {
+	cols := make([]int, len(frag.Inputs))
+	for i, in := range frag.Inputs {
+		if in.Intermediate {
+			cols[i] = 0 // __LE leads intermediate schemas
+		} else {
+			cols[i] = in.Schema.MustIndex(TimeColumn)
+		}
+	}
+	return cols
 }
 
 // hasLifetimeColumns reports whether a stored dataset schema leads with

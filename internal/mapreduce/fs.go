@@ -59,6 +59,15 @@ func SinglePartition(schema *Schema, rows []Row) *Dataset {
 	return d
 }
 
+// SingleColumnarPartition builds a dataset whose one partition holds a
+// columnar batch (borrowed, not copied) — the decode-once ingest shape.
+// sorted declares the batch ordered by the consuming stage's run key.
+func SingleColumnarPartition(schema *Schema, cb *temporal.ColBatch, sorted bool) *Dataset {
+	d := NewDataset(schema, 1)
+	d.AppendColumnar(0, cb, sorted)
+	return d
+}
+
 // NumPartitions returns the partition count.
 func (d *Dataset) NumPartitions() int { return len(d.parts) }
 
@@ -66,6 +75,12 @@ func (d *Dataset) NumPartitions() int { return len(d.parts) }
 // partition p. Empty appends are dropped.
 func (d *Dataset) Append(p int, rows []Row) {
 	d.AppendSegment(p, ResidentSegment(rows, false))
+}
+
+// AppendColumnar adds a columnar batch (borrowed, not copied) as a
+// resident segment of partition p. Empty appends are dropped.
+func (d *Dataset) AppendColumnar(p int, cb *temporal.ColBatch, sorted bool) {
+	d.AppendSegment(p, ColumnarSegment(cb, sorted))
 }
 
 // AppendSegment adds a segment to partition p. Empty segments are
@@ -99,25 +114,42 @@ func (d *Dataset) Reader(p int) *RowReader {
 	return NewRowReader(d.parts[p]...)
 }
 
-// ReadAll returns all rows of the dataset in partition order. When the
-// dataset is a single resident segment (the common fully-in-memory
-// case) the underlying slice is returned borrowed — zero copies, zero
-// allocations — so callers must not mutate the result.
-func (d *Dataset) ReadAll() ([]Row, error) {
+// Borrow returns the dataset's rows without copying when it is a single
+// resident row segment (the common fully-in-memory shape): the backing
+// slice itself, zero copies, zero allocations. ok is false otherwise —
+// spilled, columnar, or multi-segment datasets have no single slice to
+// lend. Callers must treat the result as immutable: appending to or
+// mutating it corrupts the dataset for every other reader.
+func (d *Dataset) Borrow() ([]Row, bool) {
 	var only *Segment
-	nseg, total := 0, 0
+	nseg := 0
 	for _, segs := range d.parts {
 		for i := range segs {
 			nseg++
 			only = &segs[i]
+		}
+	}
+	if nseg != 1 || only.Spilled() || only.Resident() == nil {
+		return nil, false
+	}
+	return only.Resident(), true
+}
+
+// ReadAll returns all rows of the dataset in partition order. The
+// result is always the caller's to keep: the row-header slice is fresh
+// (rows themselves stay shared-immutable, as everywhere), so appending
+// to or reordering it cannot corrupt the dataset — the bug that
+// borrowing the backing slice of single-segment datasets used to allow.
+// Callers that need the zero-copy path use Borrow.
+func (d *Dataset) ReadAll() ([]Row, error) {
+	total := 0
+	for _, segs := range d.parts {
+		for i := range segs {
 			total += segs[i].Len()
 		}
 	}
-	if nseg == 0 {
+	if total == 0 {
 		return nil, nil
-	}
-	if nseg == 1 && !only.Spilled() {
-		return only.Resident(), nil
 	}
 	out := make([]Row, 0, total)
 	for p := range d.parts {
@@ -136,10 +168,9 @@ func (d *Dataset) ReadAll() ([]Row, error) {
 	return out, nil
 }
 
-// Flatten returns all rows of the dataset in partition order, borrowed
-// when the dataset is a single resident segment (see ReadAll). It
-// panics if a spilled segment cannot be read — callers that need to
-// handle spill I/O errors use ReadAll.
+// Flatten returns all rows of the dataset in partition order, always
+// copied (see ReadAll). It panics if a spilled segment cannot be read —
+// callers that need to handle spill I/O errors use ReadAll.
 func (d *Dataset) Flatten() []Row {
 	rows, err := d.ReadAll()
 	if err != nil {

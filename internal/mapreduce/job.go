@@ -34,6 +34,20 @@ type Stage struct {
 	// Partition maps a row (from input src) to a partition key hash.
 	// Rows with equal hashes meet in the same reducer invocation.
 	Partition func(r Row, src int) uint64
+	// PartitionCols, when set instead of Partition, declares the key
+	// columns per input source (hash = temporal.HashRow over them).
+	// Declaring columns rather than a function is what enables the
+	// columnar map fast path: columnar input segments are hashed
+	// column-at-a-time (dictionary entries hashed once, not once per
+	// row) and routed by index permutation instead of materializing
+	// rows. Row-backed inputs behave exactly as with
+	// PartitionByCols(PartitionCols).
+	PartitionCols [][]int
+	// RunKeyCols, set alongside RunKey, names per source the int64
+	// column RunKey reads (-1 for none), so the columnar path can check
+	// run order against the raw column vector. RunKeyCols[src] must
+	// agree with RunKey(r, src) == r[RunKeyCols[src]].AsInt().
+	RunKeyCols []int
 	// MultiPartition, when set, supersedes Partition and may replicate a
 	// row into several partitions (given directly as partition indexes in
 	// [0, NumPartitions)). TiMR's temporal partitioning uses this: events
@@ -388,20 +402,22 @@ func (c *Cluster) injectedFailure(stage string, part, attempt int) bool {
 // map task downstream.
 const mapChunkRows = 64 << 10
 
-// mapTask is one unit of map-phase work: a chunk of rows from one input,
-// partitioned into local per-destination buckets. Tasks execute on any
-// worker in any order; determinism comes from walking buckets in
-// task-creation order afterwards.
+// mapTask is one unit of map-phase work: a chunk of rows (or a columnar
+// slice) from one input, partitioned into local per-destination
+// buckets. Tasks execute on any worker in any order; determinism comes
+// from walking buckets in task-creation order afterwards.
 type mapTask struct {
 	src  int
-	rows []Row   // resident input chunk …
-	seg  Segment // … or a spilled segment, decoded by the worker
+	rows []Row              // resident input chunk …
+	cb   *temporal.ColBatch // … or a resident columnar slice …
+	seg  Segment            // … or a spilled segment, decoded by the worker
 
-	buckets      [][]Row // per destination partition, filled by the worker
-	bucketBytes  []int   // RowBytes per bucket (budget accounting)
-	bucketSorted []bool  // per-bucket RunKey order, nil when RunKey unset
-	bytes        int     // shuffle bytes produced (RowBytes per destination copy)
-	dups         int     // shuffle rows produced (>= input rows under MultiPartition)
+	buckets      [][]Row              // per destination partition, filled by the worker
+	colBuckets   []*temporal.ColBatch // columnar fast path: gathered per-destination batches
+	bucketBytes  []int                // RowBytes per bucket (budget accounting)
+	bucketSorted []bool               // per-bucket RunKey order, nil when RunKey unset
+	bytes        int                  // shuffle bytes produced (RowBytes per destination copy)
+	dups         int                  // shuffle rows produced (>= input rows under MultiPartition)
 	stat         TaskStat
 	err          error // user partition-fn panic or spill I/O, isolated by the worker
 }
@@ -427,16 +443,92 @@ func (c *Cluster) workers(n int) int {
 	return w
 }
 
+// colRunKeys resolves the raw run-key vector for a columnar chunk, or
+// nil (with ok=false) when the stage's run key cannot be read off a
+// column vector — in which case the task falls back to the row path so
+// sortedness metadata matches the row plan exactly.
+func colRunKeys(s *Stage, cb *temporal.ColBatch, src int) ([]int64, bool) {
+	if s.RunKey == nil {
+		return nil, true
+	}
+	if src >= len(s.RunKeyCols) || s.RunKeyCols[src] < 0 {
+		return nil, false
+	}
+	keys := cb.IntCol(s.RunKeyCols[src])
+	return keys, keys != nil
+}
+
+// runMapTaskColumnar is the columnar map fast path: per-row partition
+// hashes and encoded byte lengths come from vectorized column passes
+// (dictionary entries hashed and measured once per batch, not once per
+// row), and each destination bucket is a Gather of row indexes — no Row
+// headers, no cell copies. Hashes and byte sums agree bit for bit with
+// the row path, so partition assignment and budget keep/spill decisions
+// are identical whichever representation carries a chunk.
+func runMapTaskColumnar(s *Stage, t *mapTask, nparts int, cb *temporal.ColBatch, keys []int64) error {
+	n := cb.Len()
+	t.stat.Rows = n
+	t.bucketBytes = make([]int, nparts)
+	hashes := cb.HashRows(s.PartitionCols[t.src], nil)
+	lens := cb.EncodedRowLens(nil)
+	idx := make([][]int32, nparts)
+	var bucketLast []int64
+	if s.RunKey != nil {
+		t.bucketSorted = make([]bool, nparts)
+		for i := range t.bucketSorted {
+			t.bucketSorted[i] = true
+		}
+		bucketLast = make([]int64, nparts)
+	}
+	for i := 0; i < n; i++ {
+		p := int(hashes[i] % uint64(nparts))
+		if keys != nil {
+			if len(idx[p]) > 0 && keys[i] < bucketLast[p] {
+				t.bucketSorted[p] = false
+			}
+			bucketLast[p] = keys[i]
+		}
+		idx[p] = append(idx[p], int32(i))
+		b := int(lens[i])
+		t.bucketBytes[p] += b
+		t.dups++
+		t.bytes += b
+	}
+	t.colBuckets = make([]*temporal.ColBatch, nparts)
+	for p, list := range idx {
+		if len(list) > 0 {
+			t.colBuckets[p] = cb.Gather(list)
+		}
+	}
+	return nil
+}
+
 // runMapTask partitions one task's rows into per-destination buckets,
 // tracking per-bucket byte volume and (when the stage declares a
 // RunKey) whether each bucket remains sorted by it — the only moment
 // run sortedness can be recorded without re-reading the run.
 func runMapTask(s *Stage, t *mapTask, nparts int) error {
-	rows := t.rows
-	if rows == nil && t.seg.Len() > 0 {
+	cb := t.cb
+	if cb == nil && t.rows == nil && t.seg.Len() > 0 {
 		var err error
-		if rows, err = t.seg.Materialize(); err != nil {
+		if cb, err = t.seg.ColBatch(); err != nil {
 			return err
+		}
+	}
+	if cb != nil && s.PartitionCols != nil && s.MultiPartition == nil {
+		if keys, ok := colRunKeys(s, cb, t.src); ok {
+			return runMapTaskColumnar(s, t, nparts, cb, keys)
+		}
+	}
+	rows := t.rows
+	if rows == nil {
+		if cb != nil {
+			rows = cb.MaterializeRows()
+		} else if t.seg.Len() > 0 {
+			var err error
+			if rows, err = t.seg.Materialize(); err != nil {
+				return err
+			}
 		}
 	}
 	t.stat.Rows = len(rows)
@@ -480,7 +572,60 @@ func runMapTask(s *Stage, t *mapTask, nparts int) error {
 	return nil
 }
 
+// stageFiles is the single owner of the spill files one stage creates.
+// Every file is registered here at creation; when the stage ends the
+// shuffle file (consumed only by this stage's reducers) is always
+// released, and on failure the output file is too — a failed stage
+// publishes no dataset, so segments pointing into that file are
+// unreachable and its bytes would otherwise sit on disk until
+// Cluster.Close (or leak entirely if the caller never got that far).
+type stageFiles struct {
+	c       *Cluster
+	shuffle *spillFile
+	out     *spillFile
+}
+
+func (f *stageFiles) shuffleFile() (*spillFile, error) {
+	if f.shuffle == nil {
+		sf, err := f.c.newSpillFile()
+		if err != nil {
+			return nil, err
+		}
+		f.shuffle = sf
+	}
+	return f.shuffle, nil
+}
+
+func (f *stageFiles) outFile() (*spillFile, error) {
+	if f.out == nil {
+		sf, err := f.c.newSpillFile()
+		if err != nil {
+			return nil, err
+		}
+		f.out = sf
+	}
+	return f.out, nil
+}
+
+func (f *stageFiles) finish(failed bool) {
+	if f.shuffle != nil {
+		f.c.releaseSpillFile(f.shuffle)
+		f.shuffle = nil
+	}
+	if failed && f.out != nil {
+		f.c.releaseSpillFile(f.out)
+		f.out = nil
+	}
+}
+
 func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
+	files := &stageFiles{c: c}
+	stat, err := c.runStageFiles(s, files)
+	files.finish(err != nil)
+	return stat, err
+}
+
+func (c *Cluster) runStageFiles(s *Stage, files *stageFiles) (*StageStat, error) {
 	start := time.Now()
 	ioStart := c.spillAcct.snapshot()
 	nparts := s.NumPartitions
@@ -490,6 +635,12 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	stat := &StageStat{Name: s.Name, Partitions: nparts}
 	if s.Reduce == nil && s.ReduceRuns == nil && s.ReduceSegments == nil {
 		return stat, fmt.Errorf("stage %s: no reducer", s.Name)
+	}
+	if s.PartitionCols != nil {
+		if s.Partition != nil {
+			return stat, fmt.Errorf("stage %s: set Partition or PartitionCols, not both", s.Name)
+		}
+		s.Partition = PartitionByCols(s.PartitionCols)
 	}
 
 	// ---- Map phase: read inputs, partition rows in parallel ----
@@ -509,6 +660,16 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 			for _, seg := range ds.Partition(p) {
 				if seg.Spilled() {
 					tasks = append(tasks, &mapTask{src: src, seg: seg})
+					continue
+				}
+				if cb := seg.ResidentColumnar(); cb != nil {
+					for off := 0; off < cb.Len(); off += mapChunkRows {
+						end := off + mapChunkRows
+						if end > cb.Len() {
+							end = cb.Len()
+						}
+						tasks = append(tasks, &mapTask{src: src, cb: cb.Slice(off, end)})
+					}
 					continue
 				}
 				rows := seg.Resident()
@@ -570,47 +731,65 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	// (possibly sorted) runs to one stage-lifetime spill file.
 	budget := c.Cfg.MemoryBudget
 	parts := make([][][]Segment, nparts)
-	var shuffleFile *spillFile
 	var resident int64
 	for p := 0; p < nparts; p++ {
 		parts[p] = make([][]Segment, len(s.Inputs))
 		for src := range s.Inputs {
 			for _, t := range tasks {
-				if t.src != src || len(t.buckets[p]) == 0 {
+				if t.src != src {
+					continue
+				}
+				var colb *temporal.ColBatch
+				nrows := 0
+				if t.colBuckets != nil {
+					if colb = t.colBuckets[p]; colb != nil {
+						nrows = colb.Len()
+					}
+				} else if t.buckets != nil {
+					nrows = len(t.buckets[p])
+				}
+				if nrows == 0 {
 					continue
 				}
 				sorted := t.bucketSorted != nil && t.bucketSorted[p]
 				keep := budget == 0 || (budget > 0 && resident+int64(t.bucketBytes[p]) <= budget)
 				if keep {
 					resident += int64(t.bucketBytes[p])
-					parts[p][src] = append(parts[p][src], ResidentSegment(t.buckets[p], sorted))
+					if colb != nil {
+						parts[p][src] = append(parts[p][src], ColumnarSegment(colb, sorted))
+					} else {
+						parts[p][src] = append(parts[p][src], ResidentSegment(t.buckets[p], sorted))
+					}
 					continue
 				}
-				if shuffleFile == nil {
-					var err error
-					if shuffleFile, err = c.newSpillFile(); err != nil {
-						return stat, err
-					}
+				// Shuffle runs are consumed only by this stage's reducers;
+				// the file is released by stageFiles when the stage ends.
+				sf, err := files.shuffleFile()
+				if err != nil {
+					return stat, err
 				}
-				seg, err := shuffleFile.writeSegment(t.buckets[p], sorted)
+				var seg Segment
+				if colb != nil {
+					seg, err = sf.writeColSegment(colb, sorted)
+					t.colBuckets[p] = nil // evicted
+				} else {
+					seg, err = sf.writeSegment(t.buckets[p], sorted)
+					t.buckets[p] = nil // evicted
+				}
 				if err != nil {
 					return stat, err
 				}
 				parts[p][src] = append(parts[p][src], seg)
-				t.buckets[p] = nil // evicted
 			}
 		}
-	}
-	if shuffleFile != nil {
-		// Shuffle runs are consumed only by this stage's reducers.
-		defer c.releaseSpillFile(shuffleFile)
 	}
 	for _, t := range tasks {
 		stat.InputRows += t.stat.Rows
 		stat.ShuffleRows += t.dups
 		stat.ShuffleBytes += t.bytes
 		stat.Maps = append(stat.Maps, t.stat)
-		t.buckets = nil // resident runs stay referenced by their segments
+		// Resident runs stay referenced by their segments.
+		t.buckets, t.colBuckets = nil, nil
 	}
 
 	// ---- Reduce phase: run reducers on a bounded worker pool ----
@@ -718,7 +897,6 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 	// Spilled output segments are capped at mapChunkRows so a downstream
 	// map phase gets bounded tasks.
 	out := NewDataset(s.OutSchema, nparts)
-	var outFile *spillFile
 	var outResident int64
 	for p := range results {
 		res := &results[p]
@@ -750,13 +928,11 @@ func (c *Cluster) runStage(s *Stage) (*StageStat, error) {
 				out.Append(p, chunk)
 				continue
 			}
-			if outFile == nil {
-				var err error
-				if outFile, err = c.newSpillFile(); err != nil {
-					return stat, err
-				}
+			of, err := files.outFile()
+			if err != nil {
+				return stat, err
 			}
-			seg, err := outFile.writeSegment(chunk, false)
+			seg, err := of.writeSegment(chunk, false)
 			if err != nil {
 				return stat, err
 			}
@@ -838,18 +1014,14 @@ func (c *Cluster) emitStageMetrics(stat *StageStat) {
 	}
 }
 
-// RowBytes estimates the serialized size of a row for shuffle-volume
-// accounting: 8 bytes per fixed-width value (int/float/bool/null tag)
-// plus string payload bytes. The estimate prices relative stage volume,
-// not any particular wire format.
+// RowBytes returns the exact serialized size of a row in the shared
+// binary row codec — the same bytes one row occupies in a spill frame.
+// MemoryBudget keep/spill accounting charges this, so a "4KB" budget
+// really bounds 4KB of encoded rows; the old 8-bytes-per-value estimate
+// drifted from the varint encoding and let budgeted partitions hold
+// arbitrarily more than their nominal limit.
 func RowBytes(r Row) int {
-	n := 8 * len(r)
-	for _, v := range r {
-		if v.Kind() == temporal.KindString {
-			n += len(v.AsString())
-		}
-	}
-	return n
+	return temporal.RowEncodedLen(r)
 }
 
 // PartitionByCols builds a Partition function hashing the given column

@@ -2,6 +2,8 @@ package mapreduce
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -475,10 +477,55 @@ func TestStageSkewAndShuffleBytes(t *testing.T) {
 	}
 }
 
+// TestRowBytes pins the satellite bugfix: RowBytes is not an estimate
+// but the exact encoded size of the row in the shared codec — budget
+// keep/spill decisions charge precisely what spilling would write.
 func TestRowBytes(t *testing.T) {
-	r := Row{temporal.Int(1), temporal.String("hello"), temporal.Float(2.5)}
-	if got := RowBytes(r); got != 3*8+5 {
-		t.Errorf("RowBytes = %d, want %d", got, 3*8+5)
+	rows := []Row{
+		nil,
+		{},
+		{temporal.Int(1), temporal.String("hello"), temporal.Float(2.5)},
+		{temporal.Null, temporal.Bool(true), temporal.Bool(false)},
+		{temporal.Float(math.NaN()), temporal.Float(math.Inf(-1)), temporal.Float(0)},
+		{temporal.String(""), temporal.String(strings.Repeat("x", 1<<14))},
+		{temporal.Int(math.MaxInt64), temporal.Int(math.MinInt64), temporal.Int(-1)},
+		{temporal.String("embedded\x00nul"), temporal.Null, temporal.Int(0)},
+	}
+	var enc temporal.Encoder
+	for i, r := range rows {
+		enc.Reset()
+		enc.Row(r)
+		if got, want := RowBytes(r), enc.Len(); got != want {
+			t.Errorf("row %d: RowBytes = %d, encoder wrote %d bytes", i, got, want)
+		}
+	}
+	// Property: agreement holds for arbitrary generated rows.
+	cells := func(seed int64) Row {
+		rng := rand.New(rand.NewSource(seed))
+		r := make(Row, rng.Intn(6))
+		for i := range r {
+			switch rng.Intn(5) {
+			case 0:
+				r[i] = temporal.Null
+			case 1:
+				r[i] = temporal.Int(rng.Int63() - rng.Int63())
+			case 2:
+				r[i] = temporal.Float(rng.NormFloat64())
+			case 3:
+				r[i] = temporal.String(strings.Repeat("s", rng.Intn(200)))
+			default:
+				r[i] = temporal.Bool(rng.Intn(2) == 0)
+			}
+		}
+		return r
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		r := cells(seed)
+		enc.Reset()
+		enc.Row(r)
+		if got, want := RowBytes(r), enc.Len(); got != want {
+			t.Fatalf("seed %d: RowBytes = %d, encoder wrote %d bytes (row %v)", seed, got, want, r)
+		}
 	}
 }
 

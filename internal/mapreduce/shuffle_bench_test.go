@@ -3,27 +3,33 @@ package mapreduce
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"timr/internal/temporal"
 )
 
-// The shuffle benchmark proves the tentpole win: partitioning 1M+ rows in
-// parallel must beat the serial reference by >= 2x on a 4+ core host,
-// while producing byte-identical shuffled datasets (pinned by
+// The shuffle benchmark proves the tentpole win: partitioning 1M+ rows
+// through the columnar fast path (decode-once ingest, vectorized
+// hashing and byte accounting, index-gather routing) must beat the
+// row-at-a-time carrier by >= 2x, while producing byte-identical
+// shuffled datasets (pinned by TestColumnarInputMatchesRowInput and
 // TestParallelMapByteIdenticalToSerial).
 
 const benchShuffleRows = 1 << 20 // ~1M rows
 
 var (
-	shuffleBenchOnce sync.Once
-	shuffleBenchDS   *Dataset
+	shuffleBenchOnce  sync.Once
+	shuffleBenchRowDS *Dataset
+	shuffleBenchColDS *Dataset
 )
 
 // benchShuffleInput builds ~1M rows with a string column (realistic
 // per-row hashing and byte-accounting cost), spread over 16 input
-// partitions so the map phase has tasks to fan out.
-func benchShuffleInput() *Dataset {
+// partitions so the map phase has tasks to fan out — once as plain row
+// segments and once as columnar batches (the ingest shape a real log
+// reader produces after its single decode).
+func benchShuffleInput() (rowDS, colDS *Dataset) {
 	shuffleBenchOnce.Do(func() {
 		schema := temporal.NewSchema(
 			temporal.Field{Name: "K", Kind: temporal.KindInt},
@@ -32,7 +38,8 @@ func benchShuffleInput() *Dataset {
 		)
 		const inParts = 16
 		per := benchShuffleRows / inParts
-		ds := NewDataset(schema, inParts)
+		rds := NewDataset(schema, inParts)
+		cds := NewDataset(schema, inParts)
 		v := 0
 		for p := 0; p < inParts; p++ {
 			rows := make([]Row, per)
@@ -44,22 +51,40 @@ func benchShuffleInput() *Dataset {
 				}
 				v++
 			}
-			ds.Append(p, rows)
+			rds.Append(p, rows)
+			cds.AppendColumnar(p, temporal.ColBatchFromRows(rows, 3), false)
 		}
-		shuffleBenchDS = ds
+		shuffleBenchRowDS = rds
+		shuffleBenchColDS = cds
 	})
-	return shuffleBenchDS
+	return shuffleBenchRowDS, shuffleBenchColDS
 }
 
-func benchShuffle(b *testing.B, mapWorkers int) {
-	ds := benchShuffleInput()
+func benchShuffleStage(schema *Schema, columnar bool) Stage {
 	st := Stage{
-		Name: "shuffle", Inputs: []string{"in"}, Output: "out", OutSchema: ds.Schema,
+		Name: "shuffle", Inputs: []string{"in"}, Output: "out", OutSchema: schema,
 		NumPartitions: 64,
-		Partition:     PartitionByCols([][]int{{0, 2}}),
-		// No-op reducer: the benchmark isolates the map/shuffle path.
-		Reduce: func(part int, in [][]Row, emit func(Row)) error { return nil },
 	}
+	// No-op reducers: the benchmark isolates the map/shuffle path. The
+	// columnar variant takes segments so the shuffle's batches are not
+	// materialized to rows just to be discarded.
+	if columnar {
+		st.PartitionCols = [][]int{{0, 2}}
+		st.ReduceSegments = func(part int, in [][]Segment, emit func(Row)) error { return nil }
+	} else {
+		st.Partition = PartitionByCols([][]int{{0, 2}})
+		st.Reduce = func(part int, in [][]Row, emit func(Row)) error { return nil }
+	}
+	return st
+}
+
+func benchShuffle(b *testing.B, mapWorkers int, columnar bool) {
+	rowDS, colDS := benchShuffleInput()
+	ds := rowDS
+	if columnar {
+		ds = colDS
+	}
+	st := benchShuffleStage(ds.Schema, columnar)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := NewCluster(Config{Machines: 64, MapWorkers: mapWorkers})
@@ -71,31 +96,53 @@ func benchShuffle(b *testing.B, mapWorkers int) {
 	b.ReportMetric(float64(ds.Rows())*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
-func BenchmarkShuffle_1M_Serial(b *testing.B)   { benchShuffle(b, 1) }
-func BenchmarkShuffle_1M_Parallel(b *testing.B) { benchShuffle(b, 0) }
+func BenchmarkShuffle_1M_Serial(b *testing.B)   { benchShuffle(b, 1, true) }
+func BenchmarkShuffle_1M_Parallel(b *testing.B) { benchShuffle(b, 0, true) }
+func BenchmarkShuffle_1M_RowPath(b *testing.B)  { benchShuffle(b, 0, false) }
 
 // benchSpill runs the same 1M-row repartition but with a reducer that
-// consumes its input, so a spilling run pays both the encode/write and
-// the streamed read-back — the end-to-end out-of-core cost against the
-// resident reference.
-func benchSpill(b *testing.B, budget int64) {
-	ds := benchShuffleInput()
-	st := Stage{
-		Name: "spill", Inputs: []string{"in"}, Output: "out", OutSchema: ds.Schema,
-		NumPartitions: 64,
-		Partition:     PartitionByCols([][]int{{0, 2}}),
-		ReduceSegments: func(part int, in [][]Segment, emit func(Row)) error {
-			rd := NewRowReader(in[0]...)
+// consumes its input (summing an int column), so a spilling run pays
+// both the encode/write and the streamed read-back — the end-to-end
+// out-of-core cost against the resident reference. Columnar runs read
+// the column straight off each shuffle batch; row runs stream rows.
+func benchSpill(b *testing.B, budget int64, columnar bool) {
+	rowDS, colDS := benchShuffleInput()
+	ds := rowDS
+	if columnar {
+		ds = colDS
+	}
+	st := benchShuffleStage(ds.Schema, columnar)
+	st.Name = "spill"
+	st.Reduce = nil
+	var sum int64 // reducers run concurrently; accumulate atomically
+	st.ReduceSegments = func(part int, in [][]Segment, emit func(Row)) error {
+		var local int64
+		for i := range in[0] {
+			seg := &in[0][i]
+			if cb, err := seg.ColBatch(); err != nil {
+				return err
+			} else if cb != nil {
+				if vs := cb.IntCol(1); vs != nil {
+					for _, v := range vs {
+						local += v
+					}
+					continue
+				}
+			}
+			rd := NewRowReader(*seg)
 			for {
-				_, ok, err := rd.Next()
+				r, ok, err := rd.Next()
 				if err != nil {
 					return err
 				}
 				if !ok {
-					return nil
+					break
 				}
+				local += r[1].AsInt()
 			}
-		},
+		}
+		atomic.AddInt64(&sum, local)
+		return nil
 	}
 	dir := b.TempDir()
 	b.ResetTimer()
@@ -109,8 +156,12 @@ func benchSpill(b *testing.B, budget int64) {
 			b.Fatal(err)
 		}
 	}
+	if sum == 0 {
+		b.Fatal("reducer consumed nothing")
+	}
 	b.ReportMetric(float64(ds.Rows())*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 }
 
-func BenchmarkSpill_1M_Resident(b *testing.B) { benchSpill(b, 0) }
-func BenchmarkSpill_1M_SpillAll(b *testing.B) { benchSpill(b, SpillAll) }
+func BenchmarkSpill_1M_Resident(b *testing.B) { benchSpill(b, 0, true) }
+func BenchmarkSpill_1M_SpillAll(b *testing.B) { benchSpill(b, SpillAll, true) }
+func BenchmarkSpill_1M_RowPath(b *testing.B)  { benchSpill(b, 0, false) }

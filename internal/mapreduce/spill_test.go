@@ -218,31 +218,95 @@ func TestClusterCloseRemovesSpillDir(t *testing.T) {
 	}
 }
 
-func TestFlattenBorrowsSingleResidentSegment(t *testing.T) {
+// TestFailedStageReleasesSpillFiles pins the temp-file leak fix: a
+// stage that spills its shuffle and then fails (every reducer attempt
+// exhausted) must leave nothing behind in the spill directory — the
+// stage owns its files and releases them on the error path, not only on
+// the success path.
+func TestFailedStageReleasesSpillFiles(t *testing.T) {
+	base := t.TempDir()
+	c := NewCluster(Config{
+		Machines: 2, MemoryBudget: SpillAll, SpillDir: base,
+		FailureRate: 1.0, MaxAttempts: 2, Seed: 42,
+	})
+	defer c.Close()
+	c.FS.Write("in", SinglePartition(kvSchema(), kvRows(500)))
+	if _, err := c.Run(sumStage("in", "out", 4)); err == nil {
+		t.Fatal("expected the fully-failing stage to error")
+	}
+	dirs, err := filepath.Glob(filepath.Join(base, "timr-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("stage never spilled — the leak check is vacuous")
+	}
+	for _, d := range dirs {
+		left, err := filepath.Glob(filepath.Join(d, "*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(left) != 0 {
+			t.Fatalf("failed stage leaked %d spill file(s): %v", len(left), left)
+		}
+	}
+}
+
+// TestFlattenCopiesAndBorrowLends pins the satellite bugfix: Flatten
+// and ReadAll hand back a slice the caller owns — mutating it must not
+// corrupt the dataset — while Borrow is the explicit zero-copy variant
+// for callers that promise immutability.
+func TestFlattenCopiesAndBorrowLends(t *testing.T) {
 	rows := kvRows(64)
 	ds := SinglePartition(kvSchema(), rows)
 	got := ds.Flatten()
-	if len(got) != len(rows) || &got[0] != &rows[0] {
-		t.Fatal("single-segment Flatten must borrow the underlying slice")
+	if len(got) != len(rows) || &got[0] == &rows[0] {
+		t.Fatal("single-segment Flatten must copy the row-header slice")
 	}
-	// Multi-segment datasets copy.
+	// Mutating the returned slice must leave the dataset intact.
+	for i := range got {
+		got[i] = Row{temporal.String("clobbered")}
+	}
+	again := ds.Flatten()
+	for i, r := range again {
+		if len(r) != len(rows[i]) || !r[0].Equal(rows[i][0]) {
+			t.Fatalf("row %d changed after mutating a Flatten result", i)
+		}
+	}
+	// Borrow is the zero-copy path, single resident row segment only.
+	lent, ok := ds.Borrow()
+	if !ok || &lent[0] != &rows[0] {
+		t.Fatal("Borrow must lend the underlying slice of a single resident segment")
+	}
 	ds2 := NewDataset(kvSchema(), 1)
 	ds2.Append(0, rows[:32])
 	ds2.Append(0, rows[32:])
+	if _, ok := ds2.Borrow(); ok {
+		t.Fatal("Borrow must refuse multi-segment datasets")
+	}
 	got2 := ds2.Flatten()
 	if len(got2) != len(rows) || &got2[0] == &rows[0] {
 		t.Fatal("multi-segment Flatten must build a fresh slice")
 	}
+	cds := SingleColumnarPartition(kvSchema(), temporal.ColBatchFromRows(rows, 2), false)
+	if _, ok := cds.Borrow(); ok {
+		t.Fatal("Borrow must refuse columnar datasets")
+	}
+	crows := cds.Flatten()
+	if len(crows) != len(rows) {
+		t.Fatalf("columnar Flatten returned %d rows, want %d", len(crows), len(rows))
+	}
 }
 
-// BenchmarkFlattenResident pins the satellite claim: flattening the
-// common single-segment resident dataset allocates nothing.
+// BenchmarkFlattenResident pins the satellite claim: reading the common
+// single-segment resident dataset through Borrow allocates nothing.
 func BenchmarkFlattenResident(b *testing.B) {
 	ds := SinglePartition(kvSchema(), kvRows(1<<16))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if rows := ds.Flatten(); len(rows) != 1<<16 {
+		rows, ok := ds.Borrow()
+		if !ok || len(rows) != 1<<16 {
 			b.Fatal("bad length")
 		}
 	}

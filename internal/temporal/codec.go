@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // The shared binary row codec: a compact, deterministic, stdlib-varint
@@ -32,6 +33,12 @@ import (
 // use; Reset recycles the buffer for the next record.
 type Encoder struct {
 	buf []byte
+
+	// Scratch for columnar dictionary compaction (colcodec.go): the
+	// source-dictionary→block-dictionary remap, kept -1 between blocks
+	// and reset entry-by-entry via the used list, plus that list.
+	dictRemap []int32
+	dictUsed  []int32
 }
 
 // Bytes returns the accumulated encoding.
@@ -79,6 +86,44 @@ func (w *Encoder) Value(v Value) {
 	default: // int, bool
 		w.Varint(v.i)
 	}
+}
+
+// uvarintLen returns the number of bytes Uvarint appends for v.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// varintLen returns the number of bytes Varint appends for v.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// EncodedLen returns the exact number of bytes Encoder.Value appends
+// for v: one kind tag plus the payload encoding. MemoryBudget
+// accounting (mapreduce.RowBytes) relies on this matching the encoder
+// byte for byte, so a "4KB" partition really holds at most 4KB of
+// spill-frame payload.
+func (v Value) EncodedLen() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindFloat:
+		return 1 + uvarintLen(math.Float64bits(v.f))
+	case KindString:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	default: // int, bool
+		return 1 + varintLen(v.i)
+	}
+}
+
+// RowEncodedLen returns the exact number of bytes Encoder.Row appends
+// for r: the count prefix plus every value.
+func RowEncodedLen(r Row) int {
+	n := uvarintLen(uint64(len(r)))
+	for _, v := range r {
+		n += v.EncodedLen()
+	}
+	return n
 }
 
 // Row appends a length-prefixed row.

@@ -1,0 +1,525 @@
+package temporal
+
+import "math"
+
+// Columnar batches. A ColBatch is the struct-of-arrays counterpart of a
+// []Event / []Row batch: lifetimes live in two flat int64 vectors and
+// each payload column lives in one typed vector, with a null flag slice
+// and a string dictionary where needed. It is the carrier on the data
+// plane's hot paths — workload ingest, shuffle buckets, spill blocks,
+// sorted runs — where the row representation's per-cell tagged unions
+// cost one 48-byte Value per cell per hop.
+//
+// Contract (see DESIGN.md §11):
+//
+//   - A ColBatch is immutable once built (sealed by ColBuilder.Batch or
+//     decoded by Decoder.ColBatch). Views made by Slice and Gather share
+//     the underlying vectors and the dictionary; nothing may mutate them.
+//   - Batch/[]Event remain the operator-facing currency: MaterializeRows
+//     and MaterializeEvents produce the row view, carving all rows from
+//     one backing slab, and the engine/streaming FeedColBatch entry
+//     points materialize exactly once per batch.
+//   - Column-at-a-time derived vectors (HashRows, EncodedRowLens) agree
+//     bit for bit with the row-at-a-time functions (HashRow,
+//     RowEncodedLen), so partition assignment and MemoryBudget
+//     accounting are identical whichever representation carries a row.
+
+// ColBatch is a columnar batch of events (LE/RE set) or plain rows
+// (LE/RE nil, as in map-reduce datasets without lifetimes).
+type ColBatch struct {
+	// LE and RE hold per-row lifetimes; both are nil for row-only data.
+	LE, RE []Time
+	// Cols holds one typed vector per payload column.
+	Cols []ColVec
+	n    int
+}
+
+// Len returns the number of rows in the batch.
+func (cb *ColBatch) Len() int { return cb.n }
+
+// NumCols returns the number of payload columns.
+func (cb *ColBatch) NumCols() int { return len(cb.Cols) }
+
+// HasLifetimes reports whether the batch carries event lifetimes.
+func (cb *ColBatch) HasLifetimes() bool { return cb.LE != nil }
+
+// ColVec is one typed column vector. Exactly one payload representation
+// is populated: Ints (KindInt/KindBool), Floats (KindFloat), Codes+Dict
+// (KindString), Mixed (heterogeneous fallback), or none (all-null
+// column, Kind == KindNull). Null cells hold zero placeholders in the
+// typed arrays and are flagged in Nulls.
+type ColVec struct {
+	Kind   Kind
+	Nulls  []bool  // per-row null flags; nil when no cell is null
+	Ints   []int64 // int and bool (0/1) payloads
+	Floats []float64
+	Codes  []int32 // dictionary codes for string payloads
+	Dict   *Dict   // shared dictionary for Codes
+	Mixed  []Value // rowwise fallback for kind-mixed columns
+}
+
+// Dict interns the distinct strings of a column in first-appearance
+// order (deterministic, so encoding the same logical data twice yields
+// identical bytes). Alongside each entry it stores the entry's value
+// hash and encoded length, computed once at intern time — a sealed Dict
+// is shared read-only by Slice/Gather views and parallel map workers,
+// so no lazy per-read caching is allowed.
+type Dict struct {
+	strs []string
+	idx  map[string]int32
+	hash []uint64 // Value.Hash(HashSeed) of String(entry)
+	enc  []int32  // Value.EncodedLen of String(entry)
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{idx: make(map[string]int32)}
+}
+
+// Len returns the number of distinct entries.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// At returns entry code's string.
+func (d *Dict) At(code int32) string { return d.strs[code] }
+
+// Code interns s and returns its code.
+func (d *Dict) Code(s string) int32 {
+	if c, ok := d.idx[s]; ok {
+		return c
+	}
+	c := int32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.idx[s] = c
+	d.hash = append(d.hash, String(s).Hash(HashSeed))
+	d.enc = append(d.enc, int32(String(s).EncodedLen()))
+	return c
+}
+
+// ColBuilder accumulates rows into a ColBatch. Columns start all-null
+// and adopt the kind of their first non-null cell; a later cell of a
+// different kind degrades that column to the rowwise Mixed fallback.
+type ColBuilder struct {
+	cb        ColBatch
+	lifetimes bool
+}
+
+// NewColBuilder returns a builder for ncols payload columns; lifetimes
+// selects the event form (AppendEvent) over the plain-row form (Append).
+func NewColBuilder(ncols int, lifetimes bool) *ColBuilder {
+	b := &ColBuilder{lifetimes: lifetimes}
+	b.cb.Cols = make([]ColVec, ncols)
+	return b
+}
+
+// Append adds one plain row (no lifetime).
+func (b *ColBuilder) Append(r Row) {
+	if b.lifetimes {
+		panic("temporal: ColBuilder.Append on an event builder")
+	}
+	b.appendRow(r)
+}
+
+// AppendEvent adds one event.
+func (b *ColBuilder) AppendEvent(e Event) {
+	if !b.lifetimes {
+		panic("temporal: ColBuilder.AppendEvent on a row builder")
+	}
+	b.cb.LE = append(b.cb.LE, e.LE)
+	b.cb.RE = append(b.cb.RE, e.RE)
+	b.appendRow(e.Payload)
+}
+
+func (b *ColBuilder) appendRow(r Row) {
+	if len(r) != len(b.cb.Cols) {
+		panic("temporal: ColBuilder row width mismatch")
+	}
+	at := b.cb.n
+	for c := range b.cb.Cols {
+		b.cb.Cols[c].append(at, r[c])
+	}
+	b.cb.n++
+}
+
+// Batch seals and returns the accumulated batch. The builder must not
+// be used afterwards.
+func (b *ColBuilder) Batch() *ColBatch { return &b.cb }
+
+// append adds val at row index at (the column's current length).
+func (v *ColVec) append(at int, val Value) {
+	if v.Mixed != nil {
+		v.Mixed = append(v.Mixed, val)
+		return
+	}
+	if val.kind == KindNull {
+		if v.Nulls == nil {
+			v.Nulls = make([]bool, at)
+		}
+		v.Nulls = append(v.Nulls, true)
+		v.appendZero()
+		return
+	}
+	if v.Kind == KindNull {
+		// First non-null cell fixes the column kind; backfill zero
+		// placeholders for the all-null prefix.
+		v.Kind = val.kind
+		switch val.kind {
+		case KindInt, KindBool:
+			v.Ints = make([]int64, at)
+		case KindFloat:
+			v.Floats = make([]float64, at)
+		case KindString:
+			v.Codes = make([]int32, at)
+			v.Dict = NewDict()
+		}
+	} else if v.Kind != val.kind {
+		v.degrade(at)
+		v.Mixed = append(v.Mixed, val)
+		return
+	}
+	if v.Nulls != nil {
+		v.Nulls = append(v.Nulls, false)
+	}
+	switch v.Kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, val.i)
+	case KindFloat:
+		v.Floats = append(v.Floats, val.f)
+	case KindString:
+		v.Codes = append(v.Codes, v.Dict.Code(val.s))
+	}
+}
+
+// appendZero extends the typed payload with a placeholder for a null
+// cell (no-op while the column is still all-null and untyped).
+func (v *ColVec) appendZero() {
+	switch v.Kind {
+	case KindInt, KindBool:
+		v.Ints = append(v.Ints, 0)
+	case KindFloat:
+		v.Floats = append(v.Floats, 0)
+	case KindString:
+		v.Codes = append(v.Codes, 0)
+	}
+}
+
+// degrade converts the first n typed cells to the Mixed representation
+// when a kind-mixed cell arrives.
+func (v *ColVec) degrade(n int) {
+	m := make([]Value, n, n+1)
+	for i := 0; i < n; i++ {
+		m[i] = v.cell(i)
+	}
+	*v = ColVec{Kind: v.Kind, Mixed: m}
+}
+
+// cell reconstructs the Value at row i.
+func (v *ColVec) cell(i int) Value {
+	if v.Mixed != nil {
+		return v.Mixed[i]
+	}
+	if v.Nulls != nil && v.Nulls[i] {
+		return Null
+	}
+	switch v.Kind {
+	case KindNull:
+		return Null
+	case KindInt, KindBool:
+		return Value{kind: v.Kind, i: v.Ints[i]}
+	case KindFloat:
+		return Value{kind: KindFloat, f: v.Floats[i]}
+	default:
+		return Value{kind: KindString, s: v.Dict.strs[v.Codes[i]]}
+	}
+}
+
+// Value returns the cell at row i, column c.
+func (cb *ColBatch) Value(i, c int) Value { return cb.Cols[c].cell(i) }
+
+// Row materializes row i (a fresh allocation; tests and slow paths
+// only — bulk consumers use MaterializeRows).
+func (cb *ColBatch) Row(i int) Row {
+	r := make(Row, len(cb.Cols))
+	for c := range cb.Cols {
+		r[c] = cb.Cols[c].cell(i)
+	}
+	return r
+}
+
+// Slice returns a zero-copy view of rows [lo, hi). The view shares the
+// batch's vectors and dictionaries.
+func (cb *ColBatch) Slice(lo, hi int) *ColBatch {
+	out := &ColBatch{Cols: make([]ColVec, len(cb.Cols)), n: hi - lo}
+	if cb.LE != nil {
+		out.LE, out.RE = cb.LE[lo:hi], cb.RE[lo:hi]
+	}
+	for c := range cb.Cols {
+		v := &cb.Cols[c]
+		o := &out.Cols[c]
+		o.Kind, o.Dict = v.Kind, v.Dict
+		if v.Nulls != nil {
+			o.Nulls = v.Nulls[lo:hi]
+		}
+		switch {
+		case v.Mixed != nil:
+			o.Mixed = v.Mixed[lo:hi]
+		case v.Ints != nil:
+			o.Ints = v.Ints[lo:hi]
+		case v.Floats != nil:
+			o.Floats = v.Floats[lo:hi]
+		case v.Codes != nil:
+			o.Codes = v.Codes[lo:hi]
+		}
+	}
+	return out
+}
+
+// Gather returns a new batch holding the rows selected by idx, in idx
+// order. Typed payloads are gathered element-wise; string columns share
+// the source dictionary (codes are copied, entries are not), which is
+// what makes shuffle routing an index permutation instead of a Row copy.
+func (cb *ColBatch) Gather(idx []int32) *ColBatch {
+	out := &ColBatch{Cols: make([]ColVec, len(cb.Cols)), n: len(idx)}
+	if cb.LE != nil {
+		out.LE = make([]Time, len(idx))
+		out.RE = make([]Time, len(idx))
+		for j, i := range idx {
+			out.LE[j] = cb.LE[i]
+			out.RE[j] = cb.RE[i]
+		}
+	}
+	for c := range cb.Cols {
+		v := &cb.Cols[c]
+		o := &out.Cols[c]
+		o.Kind, o.Dict = v.Kind, v.Dict
+		if v.Nulls != nil {
+			o.Nulls = make([]bool, len(idx))
+			for j, i := range idx {
+				o.Nulls[j] = v.Nulls[i]
+			}
+		}
+		switch {
+		case v.Mixed != nil:
+			o.Mixed = make([]Value, len(idx))
+			for j, i := range idx {
+				o.Mixed[j] = v.Mixed[i]
+			}
+		case v.Ints != nil:
+			o.Ints = make([]int64, len(idx))
+			for j, i := range idx {
+				o.Ints[j] = v.Ints[i]
+			}
+		case v.Floats != nil:
+			o.Floats = make([]float64, len(idx))
+			for j, i := range idx {
+				o.Floats[j] = v.Floats[i]
+			}
+		case v.Codes != nil:
+			o.Codes = make([]int32, len(idx))
+			for j, i := range idx {
+				o.Codes[j] = v.Codes[i]
+			}
+		}
+	}
+	return out
+}
+
+// MaterializeRows decodes the batch into the row representation once:
+// all rows are carved from a single []Value slab (one allocation for
+// cells, one for headers). The rows obey the usual shared-immutable
+// payload contract.
+func (cb *ColBatch) MaterializeRows() []Row {
+	n, nc := cb.n, len(cb.Cols)
+	if n == 0 {
+		return nil
+	}
+	rows := make([]Row, n)
+	if nc == 0 {
+		return rows
+	}
+	slab := make([]Value, n*nc)
+	for c := range cb.Cols {
+		cb.Cols[c].fill(slab[c:], nc, n)
+	}
+	for i := range rows {
+		rows[i] = Row(slab[i*nc : (i+1)*nc : (i+1)*nc])
+	}
+	return rows
+}
+
+// fill writes the column's n cells into slab at stride nc (slab is
+// offset so index i*nc is row i's cell for this column).
+func (v *ColVec) fill(slab []Value, nc, n int) {
+	switch {
+	case v.Mixed != nil:
+		for i := 0; i < n; i++ {
+			slab[i*nc] = v.Mixed[i]
+		}
+	case v.Kind == KindNull:
+		// Slab cells are already the zero Value (null).
+	case v.Kind == KindInt || v.Kind == KindBool:
+		for i := 0; i < n; i++ {
+			slab[i*nc] = Value{kind: v.Kind, i: v.Ints[i]}
+		}
+	case v.Kind == KindFloat:
+		for i := 0; i < n; i++ {
+			slab[i*nc] = Value{kind: KindFloat, f: v.Floats[i]}
+		}
+	default: // KindString
+		for i := 0; i < n; i++ {
+			slab[i*nc] = Value{kind: KindString, s: v.Dict.strs[v.Codes[i]]}
+		}
+	}
+	if v.Nulls != nil {
+		for i := 0; i < n; i++ {
+			if v.Nulls[i] {
+				slab[i*nc] = Null
+			}
+		}
+	}
+}
+
+// MaterializeEvents appends the batch's events to dst and returns it.
+// Payload rows come from a fresh MaterializeRows slab, so consumers may
+// retain them (operator synopses do). Panics if the batch carries no
+// lifetimes.
+func (cb *ColBatch) MaterializeEvents(dst []Event) []Event {
+	if cb.n > 0 && cb.LE == nil {
+		panic("temporal: MaterializeEvents on a lifetime-free batch")
+	}
+	rows := cb.MaterializeRows()
+	for i, r := range rows {
+		dst = append(dst, Event{LE: cb.LE[i], RE: cb.RE[i], Payload: r})
+	}
+	return dst
+}
+
+// IntCol returns column c's raw int64 vector when it is a pure non-null
+// int column, else nil — the run-key fast path for shuffle routing.
+func (cb *ColBatch) IntCol(c int) []int64 {
+	v := &cb.Cols[c]
+	if v.Kind != KindInt || v.Mixed != nil || v.Nulls != nil {
+		return nil
+	}
+	return v.Ints
+}
+
+// HashRows computes HashRow(row, cols) for every row, column-at-a-time,
+// into dst (grown as needed). String columns fold the per-entry hash
+// cached in the dictionary, so each distinct key string is hashed once
+// per batch lineage rather than once per row per hop.
+func (cb *ColBatch) HashRows(cols []int, dst []uint64) []uint64 {
+	n := cb.n
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = HashSeed
+	}
+	for _, c := range cols {
+		cb.Cols[c].hashInto(dst)
+	}
+	return dst
+}
+
+func (v *ColVec) hashInto(dst []uint64) {
+	const prime = 1099511628211
+	if v.Mixed != nil || v.Nulls != nil {
+		// Heterogeneous or nullable columns hash cell-wise (rare path).
+		for i := range dst {
+			dst[i] = HashCombine(dst[i], v.cell(i).Hash(HashSeed))
+		}
+		return
+	}
+	switch v.Kind {
+	case KindNull:
+		nullHash := Null.Hash(HashSeed)
+		for i := range dst {
+			dst[i] = HashCombine(dst[i], nullHash)
+		}
+	case KindInt, KindBool:
+		// Inlined Value.Hash for a tag-then-payload FNV-1a chain.
+		base := (HashSeed ^ uint64(v.Kind)) * prime
+		for i := range dst {
+			x := (base ^ uint64(v.Ints[i])) * prime
+			dst[i] = HashCombine(dst[i], x)
+		}
+	case KindFloat:
+		base := (HashSeed ^ uint64(v.Kind)) * prime
+		for i := range dst {
+			x := (base ^ math.Float64bits(v.Floats[i])) * prime
+			dst[i] = HashCombine(dst[i], x)
+		}
+	default: // KindString
+		for i := range dst {
+			dst[i] = HashCombine(dst[i], v.Dict.hash[v.Codes[i]])
+		}
+	}
+}
+
+// EncodedRowLens computes RowEncodedLen for every row, column-at-a-
+// time, into dst (grown as needed). String columns read the per-entry
+// encoded length cached in the dictionary.
+func (cb *ColBatch) EncodedRowLens(dst []int32) []int32 {
+	n := cb.n
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	base := int32(uvarintLen(uint64(len(cb.Cols))))
+	for i := range dst {
+		dst[i] = base
+	}
+	for c := range cb.Cols {
+		cb.Cols[c].encLenInto(dst)
+	}
+	return dst
+}
+
+func (v *ColVec) encLenInto(dst []int32) {
+	if v.Mixed != nil || v.Nulls != nil {
+		// Heterogeneous or nullable columns measure cell-wise.
+		for i := range dst {
+			dst[i] += int32(v.cell(i).EncodedLen())
+		}
+		return
+	}
+	switch v.Kind {
+	case KindNull:
+		for i := range dst {
+			dst[i]++
+		}
+	case KindInt, KindBool:
+		for i := range dst {
+			dst[i] += int32(1 + varintLen(v.Ints[i]))
+		}
+	case KindFloat:
+		for i := range dst {
+			dst[i] += int32(1 + uvarintLen(math.Float64bits(v.Floats[i])))
+		}
+	default: // KindString
+		for i := range dst {
+			dst[i] += int32(v.Dict.enc[v.Codes[i]])
+		}
+	}
+}
+
+// ColBatchFromRows builds a columnar batch from plain rows, all of
+// width ncols.
+func ColBatchFromRows(rows []Row, ncols int) *ColBatch {
+	b := NewColBuilder(ncols, false)
+	for _, r := range rows {
+		b.Append(r)
+	}
+	return b.Batch()
+}
+
+// ColBatchFromEvents builds a columnar batch from events whose payloads
+// all have width ncols.
+func ColBatchFromEvents(evs []Event, ncols int) *ColBatch {
+	b := NewColBuilder(ncols, true)
+	for _, e := range evs {
+		b.AppendEvent(e)
+	}
+	return b.Batch()
+}

@@ -1,0 +1,288 @@
+package temporal
+
+import "math"
+
+// Columnar block codec: one ColBatch encoded column-at-a-time. Spill
+// files store shuffle buckets and output partitions as single blocks,
+// so a segment is decoded back into vectors in one pass — rows are
+// materialized at most once, at the consumer that needs them.
+//
+// Block layout (all integers varint/uvarint):
+//
+//	0xCB | n | hasLifetimes [| n×LE | n×RE] | ncols | col...
+//
+// and each column:
+//
+//	kindTag | hasNulls [| packed null bitmap, ceil(n/8) bytes] | payload
+//
+// where kindTag is the Kind byte, or colKindMixed for heterogeneous
+// columns, and the payload is n varints (int/bool), n uvarint float
+// bits, a compacted dictionary (count + strings) followed by n uvarint
+// codes, or n tagged Values (mixed). Null cells write zero
+// placeholders; the bitmap is authoritative.
+//
+// The same two properties as the row codec hold: determinism (the
+// dictionary is written in first-use order of the block's own codes, so
+// identical logical content yields identical bytes even when a gathered
+// bucket shares a larger ingest dictionary) and robustness (every
+// count, code and bitmap length is bounds-checked; corrupt blocks
+// error, never panic or over-allocate — FuzzColBlockRoundtrip).
+
+// colBlockTag marks the start of a columnar block.
+const colBlockTag = 0xCB
+
+// colKindMixed tags a heterogeneous column stored as tagged values.
+const colKindMixed = 0xFE
+
+// ColBatch appends one columnar block.
+func (w *Encoder) ColBatch(cb *ColBatch) {
+	w.Byte(colBlockTag)
+	n := cb.Len()
+	w.Uvarint(uint64(n))
+	w.Bool(cb.LE != nil)
+	if cb.LE != nil {
+		for _, t := range cb.LE {
+			w.Varint(t)
+		}
+		for _, t := range cb.RE {
+			w.Varint(t)
+		}
+	}
+	w.Uvarint(uint64(len(cb.Cols)))
+	for c := range cb.Cols {
+		w.colVec(&cb.Cols[c], n)
+	}
+}
+
+func (w *Encoder) colVec(v *ColVec, n int) {
+	if v.Mixed != nil {
+		w.Byte(colKindMixed)
+		w.nullBitmap(nil, n)
+		for i := 0; i < n; i++ {
+			w.Value(v.Mixed[i])
+		}
+		return
+	}
+	w.Byte(byte(v.Kind))
+	w.nullBitmap(v.Nulls, n)
+	switch v.Kind {
+	case KindNull:
+	case KindInt, KindBool:
+		for i := 0; i < n; i++ {
+			w.Varint(v.Ints[i])
+		}
+	case KindFloat:
+		for i := 0; i < n; i++ {
+			w.Uvarint(math.Float64bits(v.Floats[i]))
+		}
+	case KindString:
+		w.stringCol(v, n)
+	}
+}
+
+// nullBitmap writes the hasNulls byte and, when nulls is non-nil, the
+// packed LSB-first bitmap.
+func (w *Encoder) nullBitmap(nulls []bool, n int) {
+	if nulls == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	var acc byte
+	for i := 0; i < n; i++ {
+		if nulls[i] {
+			acc |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			w.Byte(acc)
+			acc = 0
+		}
+	}
+	if n&7 != 0 {
+		w.Byte(acc)
+	}
+}
+
+// stringCol writes a string column: the compacted dictionary (only the
+// entries this block actually references, in first-use order) followed
+// by the remapped codes. Gathered shuffle buckets share their source
+// batch's full ingest dictionary, which may be orders of magnitude
+// larger than one bucket's working set; compaction keeps block size
+// proportional to the bucket. The remap scratch lives on the Encoder
+// and is reset entry-by-entry via the used list, not cleared wholesale.
+func (w *Encoder) stringCol(v *ColVec, n int) {
+	d := v.Dict
+	if len(w.dictRemap) < d.Len() {
+		grown := make([]int32, d.Len())
+		for i := range grown {
+			grown[i] = -1
+		}
+		copy(grown, w.dictRemap)
+		w.dictRemap = grown
+	}
+	used := w.dictUsed[:0]
+	for i := 0; i < n; i++ {
+		if v.Nulls != nil && v.Nulls[i] {
+			continue
+		}
+		code := v.Codes[i]
+		if w.dictRemap[code] < 0 {
+			w.dictRemap[code] = int32(len(used))
+			used = append(used, code)
+		}
+	}
+	w.Uvarint(uint64(len(used)))
+	for _, code := range used {
+		w.String(d.strs[code])
+	}
+	for i := 0; i < n; i++ {
+		if v.Nulls != nil && v.Nulls[i] {
+			w.Uvarint(0)
+			continue
+		}
+		w.Uvarint(uint64(w.dictRemap[v.Codes[i]]))
+	}
+	for _, code := range used {
+		w.dictRemap[code] = -1
+	}
+	w.dictUsed = used[:0]
+}
+
+// ColBatch reads one columnar block.
+func (r *Decoder) ColBatch() *ColBatch {
+	if r.Expect(colBlockTag, "columnar block") != nil {
+		return nil
+	}
+	n := r.Count("col block rows")
+	hasLifetimes := r.Bool()
+	cb := &ColBatch{n: n}
+	if hasLifetimes {
+		if r.err != nil {
+			return nil
+		}
+		cb.LE = make([]Time, n)
+		cb.RE = make([]Time, n)
+		for i := 0; i < n; i++ {
+			cb.LE[i] = r.Varint()
+		}
+		for i := 0; i < n; i++ {
+			cb.RE[i] = r.Varint()
+		}
+	}
+	ncols := r.Count("col block columns")
+	if r.err != nil {
+		return nil
+	}
+	if n > 0 && ncols == 0 && !hasLifetimes {
+		// Zero-width lifetime-free rows cost no payload bytes, so n is
+		// unconstrained by Count; reject rather than trust it.
+		r.fail("col block: %d rows with no columns or lifetimes", n)
+		return nil
+	}
+	cb.Cols = make([]ColVec, ncols)
+	for c := 0; c < ncols && r.err == nil; c++ {
+		r.colVec(&cb.Cols[c], n)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return cb
+}
+
+func (r *Decoder) colVec(v *ColVec, n int) {
+	kind := r.Byte()
+	v.Nulls = r.nullBitmap(n)
+	if r.err != nil {
+		return
+	}
+	if kind == colKindMixed {
+		if n > r.remaining() {
+			r.fail("col block: %d mixed cells exceed remaining %d bytes", n, r.remaining())
+			return
+		}
+		v.Mixed = make([]Value, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			v.Mixed[i] = r.Value()
+		}
+		return
+	}
+	v.Kind = Kind(kind)
+	switch v.Kind {
+	case KindNull:
+	case KindInt, KindBool:
+		if n > r.remaining() {
+			r.fail("col block: %d int cells exceed remaining %d bytes", n, r.remaining())
+			return
+		}
+		v.Ints = make([]int64, n)
+		for i := 0; i < n; i++ {
+			v.Ints[i] = r.Varint()
+		}
+	case KindFloat:
+		if n > r.remaining() {
+			r.fail("col block: %d float cells exceed remaining %d bytes", n, r.remaining())
+			return
+		}
+		v.Floats = make([]float64, n)
+		for i := 0; i < n; i++ {
+			v.Floats[i] = math.Float64frombits(r.Uvarint())
+		}
+	case KindString:
+		r.stringCol(v, n)
+	default:
+		r.fail("col block: unknown column kind %d", kind)
+	}
+}
+
+// nullBitmap reads the hasNulls byte and, if set, the packed bitmap.
+func (r *Decoder) nullBitmap(n int) []bool {
+	if !r.Bool() || r.err != nil {
+		return nil
+	}
+	nbytes := (n + 7) / 8
+	if nbytes > r.remaining() {
+		r.fail("col block: null bitmap %d bytes exceeds remaining %d", nbytes, r.remaining())
+		return nil
+	}
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		nulls[i] = r.data[r.pos+i/8]&(1<<(uint(i)&7)) != 0
+	}
+	r.pos += nbytes
+	return nulls
+}
+
+func (r *Decoder) stringCol(v *ColVec, n int) {
+	dictLen := r.Count("col block dictionary")
+	if r.err != nil {
+		return
+	}
+	d := NewDict()
+	for i := 0; i < dictLen && r.err == nil; i++ {
+		d.Code(r.String())
+	}
+	if r.err != nil {
+		return
+	}
+	if d.Len() != dictLen {
+		r.fail("col block: dictionary holds duplicate entries")
+		return
+	}
+	if n > r.remaining() {
+		r.fail("col block: %d string codes exceed remaining %d bytes", n, r.remaining())
+		return
+	}
+	v.Dict = d
+	v.Codes = make([]int32, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		code := r.Uvarint()
+		if v.Nulls != nil && v.Nulls[i] {
+			continue // placeholder; bitmap is authoritative
+		}
+		if code >= uint64(dictLen) {
+			r.fail("col block: string code %d out of dictionary range %d", code, dictLen)
+			return
+		}
+		v.Codes[i] = int32(code)
+	}
+}

@@ -159,6 +159,21 @@ func (e *Engine) FeedBatch(source string, b *Batch) {
 	}
 }
 
+// FeedColBatch pushes a columnar batch into the named source. The Batch
+// view is materialized exactly once here: event headers land in the
+// engine's reusable feed buffer, payload rows come from the batch's own
+// fresh slab (never reused — downstream operators may retain payloads
+// in synopses, per the batch contract).
+func (e *Engine) FeedColBatch(source string, cb *ColBatch) {
+	if cb.Len() == 0 {
+		return
+	}
+	e.feedBuf = cb.MaterializeEvents(e.feedBuf[:0])
+	e.feedBatch = Batch{Events: e.feedBuf}
+	e.FeedBatch(source, &e.feedBatch)
+	e.feedBuf = e.feedBuf[:0]
+}
+
 // maybeCTI drives the automatic punctuation schedule: the first event
 // anchors it, and whenever application time crosses one or more period
 // boundaries a CTI is broadcast and the schedule advances by whole

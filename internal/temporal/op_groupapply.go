@@ -208,9 +208,11 @@ func (g *groupApplyOp) Restore(r *SnapshotReader) error {
 				return err
 			}
 		}
+		// Same fold as instance()'s HashRow over the key columns, applied
+		// to the extracted key row — the bucket must match future lookups.
 		h := HashSeed
 		for _, v := range key {
-			h = v.Hash(h)
+			h = HashCombine(h, v.Hash(HashSeed))
 		}
 		g.groups[h] = append(g.groups[h], inst)
 		g.ninst++

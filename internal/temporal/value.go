@@ -229,13 +229,25 @@ func (v Value) String() string {
 // HashSeed is the initial state for Value.Hash chains.
 const HashSeed uint64 = 14695981039346656037
 
-// HashRow hashes the given columns of a row, for partitioning.
+// HashRow hashes the given columns of a row, for partitioning. It folds
+// each value's self-contained hash (Value.Hash from HashSeed) into a
+// running state with HashCombine rather than chaining one FNV state
+// through all values: the fold is decomposable per value, which lets the
+// columnar plane (ColBatch.HashRows) cache the hash of each dictionary
+// entry once and still assign rows to the exact same partitions as the
+// row-at-a-time path.
 func HashRow(r Row, cols []int) uint64 {
 	h := HashSeed
 	for _, c := range cols {
-		h = r[c].Hash(h)
+		h = HashCombine(h, r[c].Hash(HashSeed))
 	}
 	return h
+}
+
+// HashCombine folds one value hash into a running row-hash state.
+func HashCombine(h, x uint64) uint64 {
+	const prime = 1099511628211
+	return (h ^ x) * prime
 }
 
 // hashString is a convenience FNV-1a over a raw string.
