@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -54,10 +54,17 @@ fuzzgate:
 	$(GO) test -run '^$$' -fuzz 'FuzzColBlockRoundtrip' -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundtrip' -fuzztime 10s ./internal/temporal/
 
+# Fusion equivalence under the race detector: every fused/interpreted
+# differential — engine-level (row, columnar, fallback shapes, snapshot
+# interchange), TiMR columnar reducer feeds, streaming columnar chaos,
+# and the end-to-end BT pipeline — must be bit-identical.
+fusegate:
+	$(GO) test -race -count=1 -run 'TestFused' ./internal/temporal/ ./internal/core/ ./internal/bt/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race chaos spillgate fuzzgate
+check: vet fmt deprecations race chaos spillgate fuzzgate fusegate
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -65,4 +72,4 @@ bench:
 # Headline benchmarks (shuffle, Fig. 15/16, engine feed path) as
 # machine-readable JSON — the perf trajectory file compared across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json

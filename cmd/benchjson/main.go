@@ -3,7 +3,7 @@
 // as machine-readable JSON — the perf trajectory file tracked across
 // PRs. Usage:
 //
-//	go run ./cmd/benchjson -out BENCH_pr6.json
+//	go run ./cmd/benchjson -out BENCH_pr7.json
 //
 // It shells out to `go test -bench` (stdlib only, no benchstat
 // dependency) and parses the standard benchmark output format, keeping
@@ -63,7 +63,7 @@ func parse(pkg string, out []byte, into *[]Result) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output JSON file")
+	out := flag.String("out", "BENCH_pr7.json", "output JSON file")
 	pattern := flag.String("bench", "Shuffle_1M|Spill_1M|FlattenResident|MergeRuns|MergeStableSort|Fig15|Fig16", "benchmark regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	feedtime := flag.String("feedbenchtime", "20x", "benchtime for the EngineFeed pair")

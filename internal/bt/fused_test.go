@@ -1,0 +1,82 @@
+package bt
+
+// Fusegate for the end-to-end BT pipeline: every phase, compiled fused
+// and interpreted over the same feed, must produce bit-identical raw
+// (uncoalesced, unsorted-by-coalescer) results. Phases chain like
+// RunSingleNode so each differential runs over the real intermediate
+// streams — bot-eliminated logs, labeled impressions, reduced training
+// data — not synthetic inputs.
+
+import (
+	"testing"
+
+	"timr/internal/temporal"
+	"timr/internal/workload"
+)
+
+// runPhaseBoth runs one phase's plan on a fused and an interpreted
+// engine over the same source feed, requires bit-identical raw results,
+// and returns the coalesced fused output for chaining.
+func runPhaseBoth(t *testing.T, name string, plan func() *temporal.Plan, inputs map[string][]temporal.Event) []temporal.Event {
+	t.Helper()
+	var all []temporal.SourceEvent
+	for src, evs := range inputs {
+		for _, ev := range evs {
+			all = append(all, temporal.SourceEvent{Source: src, Event: ev})
+		}
+	}
+	run := func(opts ...temporal.Option) *temporal.Engine {
+		eng, err := temporal.NewEngine(plan(), opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Each engine gets its own copy: FeedSorted may sort in place,
+		// and both engines must see the identical initial order.
+		eng.FeedSorted(append([]temporal.SourceEvent(nil), all...))
+		eng.Flush()
+		return eng
+	}
+	fe, ie := run(), run(temporal.WithInterpreted())
+	if !temporal.EventsEqual(fe.RawResults(), ie.RawResults()) {
+		t.Fatalf("%s: fused %d raw events != interpreted %d", name, len(fe.RawResults()), len(ie.RawResults()))
+	}
+	return fe.Results()
+}
+
+func TestFusedBTPipelineMatchesInterpreted(t *testing.T) {
+	d := workload.Generate(workload.Config{
+		Users: 150, Keywords: 300, AdClasses: 3, Days: 1, Seed: 11,
+		BotFraction: 0.02,
+	})
+	p := DefaultParams()
+	p.T1, p.T2 = 30, 60
+	p.TrainPeriod = 12 * temporal.Hour
+	events := d.Events()
+
+	clean := runPhaseBoth(t, "BotElim", func() *temporal.Plan { return BotElimPlan(p, false) },
+		map[string][]temporal.Event{SourceEvents: events})
+	labeled := runPhaseBoth(t, "Label", func() *temporal.Plan { return LabelPlan(p, false) },
+		map[string][]temporal.Event{SourceClean: clean})
+	train := runPhaseBoth(t, "TrainData", func() *temporal.Plan { return TrainDataPlan(p, false) },
+		map[string][]temporal.Event{SourceLabeled: labeled, SourceClean: clean})
+	scores := runPhaseBoth(t, "FeatureSelect", func() *temporal.Plan { return FeatureSelectPlan(p, false) },
+		map[string][]temporal.Event{SourceLabeled: labeled, SourceTrain: train})
+	reduced := runPhaseBoth(t, "Reduce", func() *temporal.Plan { return ReducePlan(p, false) },
+		map[string][]temporal.Event{SourceTrain: train, SourceScores: scores})
+	models := runPhaseBoth(t, "Model", func() *temporal.Plan { return ModelPlan(p, false) },
+		map[string][]temporal.Event{SourceReduced: reduced})
+	preds := runPhaseBoth(t, "Score", func() *temporal.Plan { return ScorePlan(p, false) },
+		map[string][]temporal.Event{SourceReduced: reduced, SourceModels: models})
+
+	// The differential is only meaningful if the chain stayed live all
+	// the way down.
+	for _, phase := range []struct {
+		name string
+		evs  []temporal.Event
+	}{{"clean", clean}, {"labeled", labeled}, {"train", train}, {"scores", scores},
+		{"reduced", reduced}, {"models", models}, {"predictions", preds}} {
+		if len(phase.evs) == 0 {
+			t.Errorf("%s output empty; pipeline differential is vacuous", phase.name)
+		}
+	}
+}

@@ -289,6 +289,7 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 	scope := cfg.Obs.Child("frag." + frag.Name)
 	mergeRuns := scope.Counter("merge_runs")
 	mergeFallbacks := scope.Counter("merge_fallback_sorts")
+	colFeeds := scope.Counter("columnar_feeds")
 
 	return func(part int, in [][]mapreduce.Segment, emit func(mapreduce.Row)) error {
 		// The paper's deployment bridges the DSMS's asynchronous push to
@@ -306,6 +307,49 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 			temporal.WithCTIPeriod(cfg.CTIPeriod))
 		if err != nil {
 			return err
+		}
+		// The engine's output lands in sink whichever feed path runs;
+		// finish drains it and ships coalesced rows to emit.
+		finish := func() error {
+			eng.Flush()
+			out := sink.out
+			if cfg.Coalesce {
+				out = temporal.Coalesce(out)
+			}
+			for _, r := range EventsToRows(out) {
+				emit(r)
+			}
+			return nil
+		}
+
+		// Columnar fast path: a partition that is exactly one sorted
+		// resident columnar run needs no merge (single-run order IS the
+		// merged order) and no row materialization here — slice views of
+		// the shuffle block feed the engine's columnar entry directly, and
+		// a fused plan head defers the column→row transpose past its
+		// stateless prefix. Falls through to the merge when the block's
+		// lifetime/time columns are not pure int vectors.
+		if cb, src := soleColumnarRun(in); cb != nil {
+			m := metas[src]
+			var view *temporal.ColBatch
+			if m.intermediate {
+				view = cb.IntervalEventView()
+			} else {
+				view = cb.PointEventView(m.timeCol)
+			}
+			if view != nil {
+				colFeeds.Inc()
+				mergeRuns.Add(1)
+				n := view.Len()
+				for lo := 0; lo < n; lo += reduceFeedBatch {
+					hi := lo + reduceFeedBatch
+					if hi > n {
+						hi = n
+					}
+					eng.FeedColBatch(m.scan, view.Slice(lo, hi))
+				}
+				return finish()
+			}
 		}
 
 		// One streaming cursor per shuffle run, in (source, run) order —
@@ -362,17 +406,30 @@ func (t *TiMR) reducer(frag *Fragment, spans *SpanSpec) func(int, [][]mapreduce.
 			return err
 		}
 		flush()
-		eng.Flush()
-
-		out := sink.out
-		if cfg.Coalesce {
-			out = temporal.Coalesce(out)
-		}
-		for _, r := range EventsToRows(out) {
-			emit(r)
-		}
-		return nil
+		return finish()
 	}
+}
+
+// soleColumnarRun detects the reducer's columnar fast-path shape: the
+// whole partition is one sorted, resident, columnar shuffle segment
+// (empty segments are ignored). It returns that segment's batch and the
+// stage input it belongs to, or (nil, -1).
+func soleColumnarRun(in [][]mapreduce.Segment) (*temporal.ColBatch, int) {
+	var cb *temporal.ColBatch
+	src := -1
+	for s := range in {
+		for i := range in[s] {
+			seg := &in[s][i]
+			if seg.Len() == 0 {
+				continue
+			}
+			if cb != nil || !seg.Sorted() || seg.Spilled() || seg.ResidentColumnar() == nil {
+				return nil, -1
+			}
+			cb, src = seg.ResidentColumnar(), s
+		}
+	}
+	return cb, src
 }
 
 // reduceFeedBatch sizes the reducer's engine-feed batches: large enough

@@ -246,8 +246,14 @@ func (cb *ColBatch) Row(i int) Row {
 }
 
 // Slice returns a zero-copy view of rows [lo, hi). The view shares the
-// batch's vectors and dictionaries.
+// batch's vectors and dictionaries. Bounds are checked against the view
+// length cb.Len(), not the backing storage: a slice of a slice must not
+// be able to reach rows outside its parent view, even where Go's
+// reslice-to-capacity rules would allow it.
 func (cb *ColBatch) Slice(lo, hi int) *ColBatch {
+	if lo < 0 || hi < lo || hi > cb.n {
+		panic("temporal: ColBatch.Slice bounds out of range")
+	}
 	out := &ColBatch{Cols: make([]ColVec, len(cb.Cols)), n: hi - lo}
 	if cb.LE != nil {
 		out.LE, out.RE = cb.LE[lo:hi], cb.RE[lo:hi]
@@ -277,7 +283,15 @@ func (cb *ColBatch) Slice(lo, hi int) *ColBatch {
 // order. Typed payloads are gathered element-wise; string columns share
 // the source dictionary (codes are copied, entries are not), which is
 // what makes shuffle routing an index permutation instead of a Row copy.
+// Every index is validated against the view length cb.Len() up front, so
+// a gather on a Slice view can never reach rows of the backing batch
+// that lie outside the view.
 func (cb *ColBatch) Gather(idx []int32) *ColBatch {
+	for _, i := range idx {
+		if i < 0 || int(i) >= cb.n {
+			panic("temporal: ColBatch.Gather index out of range")
+		}
+	}
 	out := &ColBatch{Cols: make([]ColVec, len(cb.Cols)), n: len(idx)}
 	if cb.LE != nil {
 		out.LE = make([]Time, len(idx))
@@ -346,6 +360,31 @@ func (cb *ColBatch) MaterializeRows() []Row {
 	return rows
 }
 
+// MaterializeRowsPad is MaterializeRows with pad extra cells appended to
+// every row, carved from the same slab and initialized to the zero
+// (null) Value. Streaming routing uses it to materialize rows with the
+// source tag column in place, instead of materializing and then copying
+// every row into a wider tagged slab.
+func (cb *ColBatch) MaterializeRowsPad(pad int) []Row {
+	n, nc := cb.n, len(cb.Cols)
+	if n == 0 {
+		return nil
+	}
+	w := nc + pad
+	rows := make([]Row, n)
+	if w == 0 {
+		return rows
+	}
+	slab := make([]Value, n*w)
+	for c := range cb.Cols {
+		cb.Cols[c].fill(slab[c:], w, n)
+	}
+	for i := range rows {
+		rows[i] = Row(slab[i*w : (i+1)*w : (i+1)*w])
+	}
+	return rows
+}
+
 // fill writes the column's n cells into slab at stride nc (slab is
 // offset so index i*nc is row i's cell for this column).
 func (v *ColVec) fill(slab []Value, nc, n int) {
@@ -378,6 +417,39 @@ func (v *ColVec) fill(slab []Value, nc, n int) {
 	}
 }
 
+// fillIdx is fill restricted to the rows selected by idx: it writes the
+// column's cells for rows idx[0..k) into slab at stride nc, in idx
+// order. The fused kernel uses it to materialize only filter survivors.
+func (v *ColVec) fillIdx(slab []Value, nc int, idx []int32) {
+	switch {
+	case v.Mixed != nil:
+		for j, i := range idx {
+			slab[j*nc] = v.Mixed[i]
+		}
+	case v.Kind == KindNull:
+		// Slab cells are already the zero Value (null).
+	case v.Kind == KindInt || v.Kind == KindBool:
+		for j, i := range idx {
+			slab[j*nc] = Value{kind: v.Kind, i: v.Ints[i]}
+		}
+	case v.Kind == KindFloat:
+		for j, i := range idx {
+			slab[j*nc] = Value{kind: KindFloat, f: v.Floats[i]}
+		}
+	default: // KindString
+		for j, i := range idx {
+			slab[j*nc] = Value{kind: KindString, s: v.Dict.strs[v.Codes[i]]}
+		}
+	}
+	if v.Nulls != nil {
+		for j, i := range idx {
+			if v.Nulls[i] {
+				slab[j*nc] = Null
+			}
+		}
+	}
+}
+
 // MaterializeEvents appends the batch's events to dst and returns it.
 // Payload rows come from a fresh MaterializeRows slab, so consumers may
 // retain them (operator synopses do). Panics if the batch carries no
@@ -401,6 +473,43 @@ func (cb *ColBatch) IntCol(c int) []int64 {
 		return nil
 	}
 	return v.Ints
+}
+
+// IntervalEventView reinterprets a lifetime-free batch whose two leading
+// columns are pure int64 lifetimes (the TiMR intermediate row convention
+// [LE, RE, payload...]) as an event batch over the remaining columns —
+// zero copies, all vectors shared. Returns nil when either leading
+// column is not a pure non-null int vector; the caller falls back to row
+// materialization.
+func (cb *ColBatch) IntervalEventView() *ColBatch {
+	if cb.LE != nil || len(cb.Cols) < 2 {
+		return nil
+	}
+	le, re := cb.IntCol(0), cb.IntCol(1)
+	if le == nil || re == nil {
+		return nil
+	}
+	return &ColBatch{LE: le, RE: re, Cols: cb.Cols[2:], n: cb.n}
+}
+
+// PointEventView reinterprets a lifetime-free batch as point events at
+// the times in column timeCol: LE is the column's vector (shared), RE is
+// LE + Tick, and the payload keeps every column — the row stays intact,
+// matching PointEvent(r[timeCol], r). Returns nil when timeCol is not a
+// pure non-null int vector.
+func (cb *ColBatch) PointEventView(timeCol int) *ColBatch {
+	if cb.LE != nil {
+		return nil
+	}
+	le := cb.IntCol(timeCol)
+	if le == nil {
+		return nil
+	}
+	re := make([]Time, len(le))
+	for i, t := range le {
+		re[i] = t + Tick
+	}
+	return &ColBatch{LE: le, RE: re, Cols: cb.Cols, n: cb.n}
 }
 
 // HashRows computes HashRow(row, cols) for every row, column-at-a-time,

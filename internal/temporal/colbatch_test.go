@@ -163,6 +163,34 @@ func TestColBatchSliceAndGather(t *testing.T) {
 	}
 }
 
+// TestColBatchSliceGatherBounds pins the view-bounds hardening: Slice
+// and Gather validate against the VIEW's length, not the backing batch —
+// a Go-style reslice past the view would silently expose backing rows
+// the view's owner never granted (and, on a sliced string column, codes
+// the compacted dictionary no longer covers).
+func TestColBatchSliceGatherBounds(t *testing.T) {
+	rows := colRandomRows(13, 64, 4)
+	cb := ColBatchFromRows(rows, 4)
+	n := cb.Len()
+	mustPanic(t, func() { cb.Slice(-1, 10) })
+	mustPanic(t, func() { cb.Slice(0, n+1) })
+	mustPanic(t, func() { cb.Slice(12, 8) })
+	mustPanic(t, func() { cb.Gather([]int32{0, -1}) })
+	mustPanic(t, func() { cb.Gather([]int32{int32(n)}) })
+
+	// A view of a view: bounds are the view's length, even though the
+	// backing vectors extend beyond it.
+	sl := cb.Slice(10, 20)
+	if sl.Len() != 10 {
+		t.Fatalf("slice len = %d", sl.Len())
+	}
+	mustPanic(t, func() { sl.Slice(0, 11) })
+	mustPanic(t, func() { sl.Gather([]int32{10}) })
+	// In-range operations on the view still work.
+	rowsEqualBits(t, sl.Slice(2, 5).MaterializeRows(), rows[12:15])
+	rowsEqualBits(t, sl.Gather([]int32{9, 0}).MaterializeRows(), []Row{rows[19], rows[10]})
+}
+
 // TestColBlockRoundtrip pins the columnar block codec: a batch decodes
 // back to bit-identical rows (and lifetimes), and the encoding is
 // deterministic.
@@ -335,6 +363,30 @@ func FuzzColBlockRoundtrip(f *testing.F) {
 		w2.ColBatch(cb2)
 		if !bytes.Equal(canon, w2.Bytes()) {
 			t.Fatalf("encode∘decode not idempotent: %x -> %x", canon, w2.Bytes())
+		}
+		// Slice views of a cleanly decoded batch must themselves encode and
+		// decode to the same logical rows (the encoder compacts the view's
+		// dictionary; out-of-range codes would panic loudly, not silently
+		// mis-encode).
+		if n := cb.Len(); n > 1 {
+			lo, hi := n/3, n-n/4
+			if hi <= lo {
+				lo, hi = 0, n
+			}
+			sl := cb.Slice(lo, hi)
+			var ws Encoder
+			ws.ColBatch(sl)
+			rs := NewDecoder(ws.Bytes())
+			back := rs.ColBatch()
+			if err := rs.Done(); err != nil {
+				t.Fatalf("slice view of a clean batch failed to roundtrip: %v", err)
+			}
+			rowsEqualBits(t, back.MaterializeRows(), sl.MaterializeRows())
+			for i := 0; i < sl.Len() && sl.HasLifetimes(); i++ {
+				if back.LE[i] != sl.LE[i] || back.RE[i] != sl.RE[i] {
+					t.Fatalf("slice row %d lifetime changed in roundtrip", i)
+				}
+			}
 		}
 	})
 }

@@ -1,6 +1,9 @@
 package temporal
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Columnar block codec: one ColBatch encoded column-at-a-time. Spill
 // files store shuffle buckets and output partitions as single blocks,
@@ -126,6 +129,12 @@ func (w *Encoder) stringCol(v *ColVec, n int) {
 			continue
 		}
 		code := v.Codes[i]
+		if code < 0 || int(code) >= d.Len() {
+			// A code beyond the dictionary means the vector was corrupted
+			// (e.g. a view sliced past its backing data); fail loudly with
+			// the real cause instead of an opaque index panic below.
+			panic(fmt.Sprintf("temporal: string column code %d out of dictionary range %d", code, d.Len()))
+		}
 		if w.dictRemap[code] < 0 {
 			w.dictRemap[code] = int32(len(used))
 			used = append(used, code)

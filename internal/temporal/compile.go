@@ -13,7 +13,8 @@ type Pipeline struct {
 	inputs  map[string]Sink
 	schemas map[string]*Schema
 	out     *Schema
-	binputs map[string]BatchSink // batch views of inputs, resolved lazily
+	binputs map[string]BatchSink    // batch views of inputs, resolved lazily
+	cinputs map[string]ColBatchSink // columnar entries (nil = source has none)
 	// ckpts lists the pipeline's stateful operators in deterministic
 	// pre-order DFS plan order — the walk Engine.Checkpoint/Restore use, so
 	// a snapshot taken from one compile of a plan restores into another.
@@ -43,6 +44,23 @@ func (p *Pipeline) BatchInput(source string) BatchSink {
 	}
 	p.binputs[source] = in
 	return in
+}
+
+// ColInput returns the columnar entry for the named source, or nil when
+// the source's entry sink cannot consume ColBatches directly (the head
+// operator is not a fused stateless run — e.g. a stateful operator, a
+// multi-consumer fan-out, or an instrumented compile). The result is
+// cached; callers treat nil as "materialize rows and use FeedBatch".
+func (p *Pipeline) ColInput(source string) ColBatchSink {
+	if cs, ok := p.cinputs[source]; ok {
+		return cs
+	}
+	cs, _ := p.Input(source).(ColBatchSink)
+	if p.cinputs == nil {
+		p.cinputs = make(map[string]ColBatchSink)
+	}
+	p.cinputs[source] = cs
+	return cs
 }
 
 // Sources lists the pipeline's source names.
@@ -77,8 +95,19 @@ func (p *Pipeline) FlushAll() {
 
 // Compile turns a logical plan into a physical pipeline delivering results
 // to out. Plans may be DAGs; shared nodes become physical multicasts.
+// Maximal runs of stateless operators are fused into single kernels with
+// a columnar entry point (op_fused.go); checkpoint layout is unaffected.
 func Compile(root *Plan, out Sink) (*Pipeline, error) {
 	return CompileObserved(root, out, nil)
+}
+
+// CompileInterpreted is Compile with operator fusion disabled: every
+// plan node becomes its own physical operator, exactly as before the
+// fusion pass existed. The differential gate (make fusegate) runs fused
+// and interpreted compiles of the same plan side by side and requires
+// bit-identical output; checkpoints are interchangeable between the two.
+func CompileInterpreted(root *Plan, out Sink) (*Pipeline, error) {
+	return compile(root, out, nil, false)
 }
 
 // CompileObserved is Compile with per-operator instrumentation: every
@@ -86,8 +115,13 @@ func Compile(root *Plan, out Sink) (*Pipeline, error) {
 // size, and watermark lag into a child of scope named "opNN.Kind" (NN =
 // pre-order DFS position; see opName), and each source reports fed
 // events/CTIs under "source.<name>". A nil scope compiles with zero
-// instrumentation, identical to Compile.
+// instrumentation, identical to Compile. A non-nil scope disables
+// fusion: per-operator metering needs per-operator boundaries.
 func CompileObserved(root *Plan, out Sink, scope *obs.Scope) (*Pipeline, error) {
+	return compile(root, out, scope, scope == nil)
+}
+
+func compile(root *Plan, out Sink, scope *obs.Scope, fuse bool) (*Pipeline, error) {
 	c := &compiler{
 		parents: make(map[*Plan][]parentRef),
 		ops:     make(map[*Plan][]Sink),
@@ -95,6 +129,7 @@ func CompileObserved(root *Plan, out Sink, scope *obs.Scope) (*Pipeline, error) 
 		root:    root,
 		rootOut: out,
 		obs:     scope,
+		fuse:    fuse,
 	}
 	c.collectParents(root, make(map[*Plan]bool))
 	if scope != nil {
@@ -158,6 +193,7 @@ type compiler struct {
 	rootOut Sink
 	obs     *obs.Scope    // nil = no instrumentation
 	ids     map[*Plan]int // deterministic operator ids (obs only)
+	fuse    bool          // collapse stateless runs into fused kernels
 }
 
 func (c *compiler) collectParents(n *Plan, seen map[*Plan]bool) {
@@ -209,6 +245,9 @@ func (c *compiler) inputSink(n *Plan, idx int) Sink {
 // build constructs the physical operator for n, wired to n's downstream,
 // and returns the entry sink(s) for its input position(s).
 func (c *compiler) build(n *Plan) []Sink {
+	if run := c.fuseRun(n); run != nil {
+		return c.buildFused(run)
+	}
 	out := c.outputSink(n)
 	if n.Kind == OpExchange {
 		// Logical annotation only; a single-node pipeline passes through,
@@ -227,6 +266,67 @@ func (c *compiler) build(n *Plan) []Sink {
 		for i := range entries {
 			entries[i] = &meterIn{m: m, out: entries[i]}
 		}
+	}
+	return entries
+}
+
+// fusable reports whether n can join a fused stateless run. LifePoint
+// alterLifetime is excluded: its continuation-suppression table makes it
+// stateful (it checkpoints real state), so it stays an interpreted
+// operator and breaks runs around it. OpExchange breaks runs too — it
+// marks a distribution boundary.
+func fusable(n *Plan) bool {
+	switch n.Kind {
+	case OpSelect, OpProject:
+		return true
+	case OpAlterLifetime:
+		return n.Mode != LifePoint
+	}
+	return false
+}
+
+// fuseRun returns the maximal fused run headed at n, in dataflow order:
+// n, then each sole consumer downstream while it is also fusable. Nil
+// when fusion is off or n itself is not fusable. Demand-driven build
+// order guarantees mid-run members are never built separately: their
+// only consumer is inside the kernel, so no other node ever asks for
+// their entry sink.
+func (c *compiler) fuseRun(n *Plan) []*Plan {
+	if !c.fuse || !fusable(n) {
+		return nil
+	}
+	run := []*Plan{n}
+	cur := n
+	for cur != c.root && len(c.parents[cur]) == 1 {
+		p := c.parents[cur][0].node
+		if !fusable(p) {
+			break
+		}
+		run = append(run, p)
+		cur = p
+	}
+	return run
+}
+
+// buildFused compiles a fused run into one kernel wired to the run's
+// downstream. Fused alterLifetime members register stand-in operator
+// instances so the checkpoint walk (pipeline.ckpts, pre-order DFS over
+// the logical plan) sees the same Checkpointer sequence as an unfused
+// compile: non-LifePoint alters carry no state, so a stand-in snapshots
+// and restores the identical empty section a live operator would —
+// snapshots stay interchangeable between fused and interpreted engines.
+func (c *compiler) buildFused(run []*Plan) []Sink {
+	last := run[len(run)-1]
+	out := c.outputSink(last)
+	f := newFusedOp(run, out)
+	entries := []Sink{f}
+	for _, m := range run {
+		if m.Kind == OpAlterLifetime {
+			c.insts[m] = &alterLifetimeOp{mode: m.Mode, window: m.Window, hop: m.Hop, shift: m.Shift}
+		} else {
+			c.insts[m] = f
+		}
+		c.ops[m] = entries
 	}
 	return entries
 }

@@ -34,9 +34,10 @@ type Engine struct {
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	sink      Sink
-	scope     *obs.Scope
-	ctiPeriod Time
+	sink        Sink
+	scope       *obs.Scope
+	ctiPeriod   Time
+	interpreted bool
 }
 
 // WithSink delivers results to a caller-supplied sink (e.g. a live
@@ -54,6 +55,12 @@ func WithObs(scope *obs.Scope) Option { return func(o *engineOptions) { o.scope 
 // Engine.CTIPeriod). Zero disables automatic CTIs. The default is Hour.
 func WithCTIPeriod(p Time) Option { return func(o *engineOptions) { o.ctiPeriod = p } }
 
+// WithInterpreted disables the stateless-operator fusion pass (see
+// CompileInterpreted): every plan node runs as its own physical
+// operator. Used by the fused-vs-interpreted differential gates; output
+// and checkpoint bytes are identical either way.
+func WithInterpreted() Option { return func(o *engineOptions) { o.interpreted = true } }
+
 // NewEngine compiles the plan into an engine. With no options, results
 // accumulate in an internal collector (read them back with Results);
 // WithSink, WithObs and WithCTIPeriod configure the output sink,
@@ -69,7 +76,7 @@ func NewEngine(plan *Plan, opts ...Option) (*Engine, error) {
 		collect = &Collector{}
 		sink = collect
 	}
-	p, err := CompileObserved(plan, sink, o.scope)
+	p, err := compile(plan, sink, o.scope, o.scope == nil && !o.interpreted)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +133,7 @@ func (e *Engine) FeedBatch(source string, b *Batch) {
 	start := 0
 	if e.CTIPeriod > 0 && len(evs) > 0 {
 		if e.lastCTI == MinTime {
-			e.lastCTI = evs[0].LE // first event anchors the schedule
+			e.anchorCTI(evs[0].LE)
 		}
 		// One compare per event against the precomputed next boundary.
 		next := e.lastCTI + e.CTIPeriod
@@ -159,33 +166,75 @@ func (e *Engine) FeedBatch(source string, b *Batch) {
 	}
 }
 
-// FeedColBatch pushes a columnar batch into the named source. The Batch
-// view is materialized exactly once here: event headers land in the
-// engine's reusable feed buffer, payload rows come from the batch's own
-// fresh slab (never reused — downstream operators may retain payloads
-// in synopses, per the batch contract).
+// FeedColBatch pushes a columnar batch of events into the named source.
+// When the source's head operator is a fused stateless run, the batch
+// (or its Slice views, where the automatic CTI schedule splits it) is
+// handed to the kernel's columnar entry directly — no row materialization
+// happens until the run's downstream boundary. Otherwise the batch is
+// materialized once into a fresh per-call slab and fed through
+// FeedBatch; the slab is never reused, so an operator that defers the
+// batch (reorder, fan-out buffering) can safely retain it across feeds.
 func (e *Engine) FeedColBatch(source string, cb *ColBatch) {
 	if cb.Len() == 0 {
 		return
 	}
-	e.feedBuf = cb.MaterializeEvents(e.feedBuf[:0])
-	e.feedBatch = Batch{Events: e.feedBuf}
-	e.FeedBatch(source, &e.feedBatch)
-	e.feedBuf = e.feedBuf[:0]
+	cs := e.pipeline.ColInput(source)
+	if cs == nil {
+		e.FeedBatch(source, &Batch{Events: cb.MaterializeEvents(nil)})
+		return
+	}
+	if cb.LE == nil {
+		panic("temporal: FeedColBatch on a lifetime-free batch")
+	}
+	e.fed = true
+	le := cb.LE
+	start := 0
+	if e.CTIPeriod > 0 {
+		if e.lastCTI == MinTime {
+			e.anchorCTI(le[0])
+		}
+		// Split the batch where the CTI schedule fires, mirroring
+		// FeedBatch: deliver through the triggering event, then punctuate.
+		next := e.lastCTI + e.CTIPeriod
+		for i, t := range le {
+			if t < next {
+				continue
+			}
+			cs.OnColBatch(cb.Slice(start, i+1))
+			start = i + 1
+			e.pipeline.AdvanceAll(t)
+			e.lastCTI += ((t - e.lastCTI) / e.CTIPeriod) * e.CTIPeriod
+			next = e.lastCTI + e.CTIPeriod
+		}
+	}
+	if start == 0 {
+		cs.OnColBatch(cb)
+	} else if start < len(le) {
+		cs.OnColBatch(cb.Slice(start, len(le)))
+	}
+}
+
+// anchorCTI anchors the automatic punctuation schedule at the first
+// event: lastCTI becomes the last period boundary strictly before t, so
+// a first event landing exactly on a boundary punctuates there (the
+// caller's d >= CTIPeriod check fires immediately), and a sparse wave
+// starting at a boundary is not silently un-punctuated until Flush.
+func (e *Engine) anchorCTI(t Time) {
+	e.lastCTI = floorDiv(t-1, e.CTIPeriod) * e.CTIPeriod
 }
 
 // maybeCTI drives the automatic punctuation schedule: the first event
-// anchors it, and whenever application time crosses one or more period
-// boundaries a CTI is broadcast and the schedule advances by whole
-// periods (not to t itself — otherwise sparse sources whose events land
-// between boundaries would drift the schedule and under-punctuate).
+// anchors it (see anchorCTI), and whenever application time crosses one
+// or more period boundaries a CTI is broadcast and the schedule advances
+// by whole periods (not to t itself — otherwise sparse sources whose
+// events land between boundaries would drift the schedule and
+// under-punctuate).
 func (e *Engine) maybeCTI(t Time) {
 	if e.CTIPeriod <= 0 {
 		return
 	}
 	if e.lastCTI == MinTime {
-		e.lastCTI = t
-		return
+		e.anchorCTI(t)
 	}
 	if d := t - e.lastCTI; d >= e.CTIPeriod {
 		e.pipeline.AdvanceAll(t)
@@ -274,7 +323,7 @@ func (e *Engine) Results() []Event {
 	if e.collect == nil {
 		return nil
 	}
-	return Coalesce(e.collect.Events)
+	return Coalesce(e.collect.Flatten())
 }
 
 // RawResults returns output events as emitted (fragmented at CTI
@@ -283,7 +332,7 @@ func (e *Engine) RawResults() []Event {
 	if e.collect == nil {
 		return nil
 	}
-	out := append([]Event(nil), e.collect.Events...)
+	out := append([]Event(nil), e.collect.Flatten()...)
 	SortEvents(out)
 	return out
 }

@@ -1,0 +1,390 @@
+package temporal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Differential gates for the operator-fusion pass (op_fused.go): for any
+// plan and any feed granularity — per event, row batches, columnar
+// batches — a fused engine must produce exactly the output of the
+// interpreted engine (every plan node its own physical operator), and
+// their checkpoints must be interchangeable. `make fusegate` runs these
+// under -race.
+
+// fusedTestCTIPeriod is deliberately tiny and misaligned with the feed
+// chunk size, so every multi-batch feed is split by the automatic CTI
+// schedule mid-batch.
+const fusedTestCTIPeriod = 7
+
+func fusedReadings(n int) []Event {
+	ids := []string{"a", "b", "c"}
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, reading(Time(i), ids[i%3], int64(i*7%50)-10))
+	}
+	return evs
+}
+
+// fusedOddReadings carries nulls (every 4th) and out-of-kind ints (every
+// 5th) in the ID column, degrading its vector to Nulls/Mixed while the
+// Power column stays pure — the filter still vectorizes, and the
+// materialization paths (fill/fillIdx) must reproduce the odd cells.
+func fusedOddReadings(n int) []Event {
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		id := String("x")
+		switch {
+		case i%4 == 0:
+			id = Null
+		case i%5 == 0:
+			id = Int(int64(i))
+		}
+		evs = append(evs, PointEvent(Time(i), Row{Int(int64(i)), id, Int(int64(i%13) - 3)}))
+	}
+	return evs
+}
+
+func floatReadingSchema() *Schema {
+	return NewSchema(
+		Field{Name: "Time", Kind: KindInt},
+		Field{Name: "ID", Kind: KindString},
+		Field{Name: "Val", Kind: KindFloat},
+	)
+}
+
+func fusedFloatReadings(n int) []Event {
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, PointEvent(Time(i), Row{Int(int64(i)), String("f"), Float(float64(i%9) - 4.5)}))
+	}
+	return evs
+}
+
+// vetoPred vectorizes, clobbers part of the selection, and then refuses —
+// the kernel must discard the partial progress and fall back to the row
+// path for the whole batch, bit-identically.
+func vetoPred() Predicate {
+	return Predicate{
+		Cols: []string{"Power"},
+		Make: func(ix []int) func(Row) bool {
+			c := ix[0]
+			return func(r Row) bool { return r[c].AsInt()%2 == 0 }
+		},
+		MakeCol: func(ix []int) ColPredicate {
+			return func(cb *ColBatch, sel []bool) bool {
+				for i := range sel {
+					if i%3 == 0 {
+						sel[i] = false
+					}
+				}
+				return false
+			}
+		},
+		Desc: "even (refuses vectorization mid-scan)",
+	}
+}
+
+// checkFusedEquivalence requires the same raw output from five engine ×
+// feed-path combinations: interpreted per-event (the reference),
+// fused per-event, fused row batches, fused columnar batches, and
+// interpreted columnar batches (the materialize-and-FeedBatch fallback).
+func checkFusedEquivalence(t *testing.T, plan *Plan, evs []Event, ncols int) {
+	t.Helper()
+	newEng := func(opts ...Option) *Engine {
+		eng, err := NewEngine(plan, append([]Option{WithCTIPeriod(fusedTestCTIPeriod)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	feedPerEvent := func(eng *Engine) {
+		for _, e := range evs {
+			eng.Feed("in", e)
+		}
+	}
+	const chunk = 17 // misaligned with fusedTestCTIPeriod on purpose
+	feedRowBatches := func(eng *Engine) {
+		for lo := 0; lo < len(evs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			eng.FeedBatch("in", &Batch{Events: evs[lo:hi]})
+		}
+	}
+	feedColBatches := func(eng *Engine) {
+		for lo := 0; lo < len(evs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			eng.FeedColBatch("in", ColBatchFromEvents(evs[lo:hi], ncols))
+		}
+	}
+
+	ref := newEng(WithInterpreted())
+	feedPerEvent(ref)
+	ref.Flush()
+	want := ref.RawResults()
+
+	cases := []struct {
+		name string
+		eng  *Engine
+		feed func(*Engine)
+	}{
+		{"fused/per-event", newEng(), feedPerEvent},
+		{"fused/row-batch", newEng(), feedRowBatches},
+		{"fused/columnar", newEng(), feedColBatches},
+		{"interpreted/row-batch", newEng(WithInterpreted()), feedRowBatches},
+		{"interpreted/columnar", newEng(WithInterpreted()), feedColBatches},
+	}
+	for _, c := range cases {
+		c.feed(c.eng)
+		c.eng.Flush()
+		if got := c.eng.RawResults(); !EventsEqual(got, want) {
+			t.Errorf("%s: output diverges\n got %v\nwant %v", c.name, got, want)
+		}
+	}
+}
+
+func TestFusedMatchesInterpreted(t *testing.T) {
+	sch := readingSchema()
+	evs := fusedReadings(120)
+	double := Compute("Doubled", KindInt, func(v []Value) Value { return Int(v[0].AsInt() * 2) }, "Power")
+
+	cases := []struct {
+		name  string
+		plan  *Plan
+		evs   []Event
+		ncols int
+	}{
+		{"filter-chain", Scan("in", sch).Where(ColGtInt("Power", -5)).Where(ColLtInt("Power", 35)), evs, 3},
+		{"filter-allpass", Scan("in", sch).Where(ColGtInt("Power", -100)), evs, 3},
+		{"filter-string", Scan("in", sch).Where(ColEqString("ID", "a")), evs, 3},
+		{"filter-and", Scan("in", sch).Where(And(ColGtInt("Power", -5), ColLtInt("Power", 35))), evs, 3},
+		{"filter-or-fallback", Scan("in", sch).Where(Or(ColGtInt("Power", 30), ColLtInt("Power", -5))), evs, 3},
+		{"filter-veto-fallback", Scan("in", sch).Where(ColGtInt("Power", -5)).Where(vetoPred()), evs, 3},
+		{"project-direct", Scan("in", sch).Project(Keep("Time"), Rename("ID", "Meter"), Keep("Power")), evs, 3},
+		{"project-computed-fallback", Scan("in", sch).Project(Keep("Time"), double), evs, 3},
+		{"filter-project-window", Scan("in", sch).Where(ColGtInt("Power", -5)).Project(Keep("Time"), Keep("Power")).WithWindow(9), evs, 3},
+		{"hop", Scan("in", sch).WithHop(8, 4), evs, 3},
+		{"shift-negative", Scan("in", sch).WithWindow(6).ShiftLifetime(-3), evs, 3},
+		{"agg-boundary", Scan("in", sch).Where(ColGtInt("Power", -5)).WithWindow(9).Count("Cnt"), evs, 3},
+		{"shift-agg", Scan("in", sch).Where(ColGtInt("Power", -5)).ShiftLifetime(-4).WithWindow(9).Count("Cnt"), evs, 3},
+		{"nulls-off-column", Scan("in", sch).Where(ColGtInt("Power", -2)).Project(Keep("ID"), Keep("Power")), fusedOddReadings(100), 3},
+		{"float-filters", Scan("in", floatReadingSchema()).Where(ColGeFloat("Val", -1)).Where(AbsGeFloat("Val", 0.5)), fusedFloatReadings(100), 3},
+	}
+	// The multicast diamond: a shared scan heading two fused branches.
+	src := Scan("in", sch)
+	diamond := src.Where(ColGtInt("Power", 20)).Project(Keep("Time"), Keep("ID"), ConstInt("Tag", 1)).
+		Union(src.Where(Not(ColGtInt("Power", 20))).Project(Keep("Time"), Keep("ID"), ConstInt("Tag", 0)))
+	cases = append(cases, struct {
+		name  string
+		plan  *Plan
+		evs   []Event
+		ncols int
+	}{"multicast-diamond", diamond, evs, 3})
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkFusedEquivalence(t, c.plan, c.evs, c.ncols)
+		})
+	}
+}
+
+// TestFusedColInput pins which compiles expose a columnar entry: fused
+// stateless heads do, and so does a bare scan straight into the engine
+// collector (the collector itself consumes columns); interpreted
+// compiles of operator chains do not.
+func TestFusedColInput(t *testing.T) {
+	sch := readingSchema()
+	fusedHead := Scan("in", sch).Where(ColGtInt("Power", 0)).WithWindow(5).Count("C")
+	eng, err := NewEngine(fusedHead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pipeline().ColInput("in") == nil {
+		t.Error("fused compile: expected a columnar entry for a stateless head run")
+	}
+	interp, err := NewEngine(fusedHead, WithInterpreted())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interp.Pipeline().ColInput("in") != nil {
+		t.Error("interpreted compile: expected no columnar entry")
+	}
+	bare, err := NewEngine(Scan("in", sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Pipeline().ColInput("in") == nil {
+		t.Error("bare scan into the collector: expected a columnar entry (sink is columnar-capable)")
+	}
+}
+
+// TestFusedSnapshotCompatibility is the checkpoint-layout invariant: the
+// layout is a pure function of the logical plan, so snapshots move freely
+// between fused and interpreted engines — in both directions — and two
+// engines fed identical input checkpoint to identical bytes.
+func TestFusedSnapshotCompatibility(t *testing.T) {
+	plan := Scan("in", readingSchema()).
+		Where(ColGtInt("Power", -5)).
+		WithWindow(9).
+		Count("Cnt").
+		ToPoint().
+		WithWindow(15).
+		Sum("Cnt", "S")
+	evs := fusedReadings(120)
+	half := len(evs) / 2
+
+	feedCol := func(eng *Engine, part []Event) {
+		const chunk = 17
+		for lo := 0; lo < len(part); lo += chunk {
+			hi := lo + chunk
+			if hi > len(part) {
+				hi = len(part)
+			}
+			eng.FeedColBatch("in", ColBatchFromEvents(part[lo:hi], 3))
+		}
+	}
+
+	// Reference: one uninterrupted interpreted run.
+	ref, err := NewEngine(plan, WithInterpreted(), WithCTIPeriod(fusedTestCTIPeriod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedCol(ref, evs)
+	ref.Flush()
+	want := ref.RawResults()
+
+	// Byte-identical checkpoints after identical input.
+	mk := func(opts ...Option) *Engine {
+		eng, err := NewEngine(plan, append([]Option{WithCTIPeriod(fusedTestCTIPeriod)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	fe, ie := mk(), mk(WithInterpreted())
+	feedCol(fe, evs[:half])
+	feedCol(ie, evs[:half])
+	if !bytes.Equal(fe.Checkpoint(), ie.Checkpoint()) {
+		t.Fatal("fused and interpreted checkpoints differ after identical input")
+	}
+
+	// Cross-restore in both directions and finish the run.
+	directions := []struct {
+		name         string
+		firstOpts    []Option
+		restoredOpts []Option
+	}{
+		{"fused-to-interpreted", nil, []Option{WithInterpreted()}},
+		{"interpreted-to-fused", []Option{WithInterpreted()}, nil},
+	}
+	for _, d := range directions {
+		a := mk(d.firstOpts...)
+		feedCol(a, evs[:half])
+		snap := a.Checkpoint()
+		b, err := RestoreEngine(plan, snap,
+			append([]Option{WithCTIPeriod(fusedTestCTIPeriod)}, d.restoredOpts...)...)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", d.name, err)
+		}
+		feedCol(b, evs[half:])
+		b.Flush()
+		got := append(a.RawResults(), b.RawResults()...)
+		SortEvents(got)
+		if !EventsEqual(got, want) {
+			t.Errorf("%s: combined output diverges\n got %v\nwant %v", d.name, got, want)
+		}
+	}
+}
+
+// retainingSink defers everything it receives until OnFlush — the most
+// aggressive legal form of deferred retention (reorder buffers and
+// fan-out queues hold batches across feeds the same way). Its payload
+// rows must stay intact however many feeds happen in between.
+type retainingSink struct {
+	out  Sink
+	held []Event
+}
+
+func (d *retainingSink) OnEvent(e Event) { d.held = append(d.held, e) }
+func (d *retainingSink) OnCTI(Time)      {}
+func (d *retainingSink) OnFlush() {
+	for _, e := range d.held {
+		d.out.OnEvent(e)
+	}
+	d.out.OnFlush()
+}
+
+// TestFusedFeedColBatchAliasing is the feed-buffer aliasing regression:
+// FeedColBatch's materializing fallback must carve each batch into a
+// fresh slab, never a reused buffer, or an operator that defers events
+// across feeds observes later batches' values inside earlier payloads.
+func TestFusedFeedColBatchAliasing(t *testing.T) {
+	plan := Scan("in", readingSchema())
+	eng, err := NewEngine(plan, WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpose the retaining sink in front of the pipeline entry and drop
+	// the cached batch/columnar views so the wrapped entry is re-resolved.
+	pl := eng.Pipeline()
+	pl.inputs["in"] = &retainingSink{out: pl.inputs["in"]}
+	pl.binputs, pl.cinputs = nil, nil
+	if pl.ColInput("in") != nil {
+		t.Fatal("retaining wrapper must not expose a columnar entry — the test needs the fallback path")
+	}
+
+	var want []Event
+	for wave := 0; wave < 8; wave++ {
+		evs := make([]Event, 0, 16)
+		for i := 0; i < 16; i++ {
+			evs = append(evs, reading(Time(wave*16+i), "m", int64(wave*1000+i)))
+		}
+		want = append(want, evs...)
+		eng.FeedColBatch("in", ColBatchFromEvents(evs, 3))
+	}
+	eng.Flush()
+	got := eng.RawResults()
+	SortEvents(want)
+	if !EventsEqual(got, want) {
+		t.Fatalf("deferred payloads corrupted by later feeds\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestFusedColumnarReorderInterleave drives the fused columnar entry with
+// interleaved feeds while a downstream reorder operator (slack buffer)
+// retains events across calls: the kernel's per-batch output slabs must
+// not alias across feeds either.
+func TestFusedColumnarReorderInterleave(t *testing.T) {
+	plan := Scan("in", readingSchema()).Where(ColGtInt("Power", -1))
+	// The reorder (slack 1000) retains every event until flush, sitting
+	// right behind the fused kernel as the engine's output sink.
+	col := &Collector{}
+	sinkEng, err := NewEngine(plan, WithSink(newReorder(1000, col)), WithCTIPeriod(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sinkEng.Pipeline().ColInput("in") == nil {
+		t.Fatal("expected a fused columnar entry")
+	}
+	var want []Event
+	for wave := 0; wave < 8; wave++ {
+		evs := make([]Event, 0, 16)
+		for i := 0; i < 16; i++ {
+			evs = append(evs, reading(Time(wave*16+i), "m", int64(wave*1000+i)))
+		}
+		want = append(want, evs...)
+		sinkEng.FeedColBatch("in", ColBatchFromEvents(evs, 3))
+	}
+	sinkEng.Flush()
+	got := append([]Event(nil), col.Events...)
+	SortEvents(got)
+	SortEvents(want)
+	if !EventsEqual(got, want) {
+		t.Fatalf("reorder-deferred payloads corrupted by later columnar feeds\n got %v\nwant %v", got, want)
+	}
+}

@@ -1,0 +1,410 @@
+package temporal
+
+// Operator fusion (TiLT-style, ROADMAP item 2). The compiler collapses a
+// maximal run of stateless operators — filter / project / alterLifetime
+// (except LifePoint, which keeps continuation state) — into one fusedOp.
+// The kernel has two entry points:
+//
+//   - Row path: OnEvent/OnBatch/OnCTI/OnFlush are drop-in for the Batch
+//     push contract. One tight loop applies every stage per event, so a
+//     run of k operators costs one dispatch and at most one copy per
+//     batch instead of k of each.
+//   - Columnar path: OnColBatch consumes a ColBatch directly. Filters
+//     evaluate as selection scans over the column vectors (ColPredicate,
+//     pred.go), direct projections remap column views without touching
+//     data, and lifetime transforms rewrite the LE/RE vectors; surviving
+//     rows are materialized at most once, at the run's downstream
+//     boundary (the first stateful operator). When the downstream is
+//     itself columnar-capable (a ColBatchSink such as the engine's
+//     Collector) and every row of a batch survives, the kernel passes
+//     the column views straight through and no rows are built on the
+//     feed path at all. This is what removes the column→row transpose
+//     from the engine feed path.
+//
+// Correctness contract: for any input, both entry points produce the
+// downstream call sequence the interpreted operator chain would —
+// bit-identical events, identically shifted CTIs (TestFusedMatches
+// Interpreted*, make fusegate). When a batch's column shapes fall
+// outside what the vectorized predicates handle exactly (nulls, mixed
+// columns, unvectorized predicates), OnColBatch falls back to
+// materializing rows — into a fresh per-call slab, so a downstream
+// operator that defers the batch never observes slab reuse — and runs
+// the row path.
+//
+// Checkpoint contract: a fusedOp is stateless and never appears in
+// pipeline.ckpts. Fused alterLifetime members register stand-in
+// operator instances instead (see compiler.buildFused), keeping the
+// checkpoint layout a pure function of the logical plan: snapshots move
+// freely between fused and unfused (interpreted) engines.
+
+type fuseKind uint8
+
+const (
+	fuseFilter fuseKind = iota
+	fuseProject
+	fuseAlter
+)
+
+// fusedStage is one collapsed operator. Filters carry both the row
+// predicate and (when the Predicate vectorizes) its columnar twin;
+// projects carry the row projection functions and, when every output
+// column is a direct copy, the source-column remap; alters carry the
+// lifetime transform parameters.
+type fusedStage struct {
+	kind fuseKind
+
+	// filter
+	pred    func(Row) bool
+	colPred ColPredicate
+
+	// project
+	fns     []func(Row) Value
+	srcCols []int // direct-copy remap; nil when any column is computed
+	arena   rowArena
+
+	// alterLifetime (mode != LifePoint)
+	mode        LifetimeMode
+	window, hop Time
+	shift       Time
+}
+
+// fusedOp is the compiled kernel for one stateless run.
+type fusedOp struct {
+	stages []fusedStage
+	out    Sink
+	// colOut is non-nil when the run's downstream consumes columns
+	// directly (e.g. the engine's Collector): batches that survive the
+	// stages intact are handed through as column views and rows never
+	// materialize on the feed path at all.
+	colOut ColBatchSink
+	bo     batchOut
+
+	// pureFilter: every stage is a filter, enabling filterOp's zero-copy
+	// all-pass forwarding on the row path.
+	pureFilter bool
+	// colOK: every stage vectorizes (filters have ColPredicates, projects
+	// are all direct copies), so OnColBatch can run the columnar kernel.
+	colOK bool
+	// ctiShift is the composed punctuation translation: the sum of the
+	// backward (negative) LifeShift amounts, exactly what chaining each
+	// member's shiftCTI would apply.
+	ctiShift Time
+
+	// columnar scratch, reused across batches (single-goroutine)
+	sel    []bool
+	idx    []int32
+	le, re []Time
+}
+
+// newFusedOp compiles the run's plan nodes into stages. run is in
+// dataflow order (run[0] consumes the upstream, run[len-1] feeds out).
+func newFusedOp(run []*Plan, out Sink) *fusedOp {
+	f := &fusedOp{stages: make([]fusedStage, len(run)), out: out, pureFilter: true, colOK: true}
+	f.colOut, _ = out.(ColBatchSink)
+	for i, n := range run {
+		in := n.Inputs[0].Out
+		st := &f.stages[i]
+		switch n.Kind {
+		case OpSelect:
+			st.kind = fuseFilter
+			st.pred = n.Pred.compile(in)
+			st.colPred = n.Pred.compileCol(in)
+			if st.colPred == nil {
+				f.colOK = false
+			}
+		case OpProject:
+			f.pureFilter = false
+			st.kind = fuseProject
+			st.fns = make([]func(Row) Value, len(n.Projs))
+			st.srcCols = make([]int, len(n.Projs))
+			for j, pr := range n.Projs {
+				if pr.Source != "" {
+					col := in.MustIndex(pr.Source)
+					st.srcCols[j] = col
+					st.fns[j] = func(r Row) Value { return r[col] }
+				} else {
+					st.srcCols = nil
+					st.fns[j] = pr.Make(in.Indexes(pr.Cols...))
+				}
+			}
+			if st.srcCols == nil {
+				f.colOK = false
+			}
+		case OpAlterLifetime:
+			if n.Mode == LifePoint {
+				panic("temporal: LifePoint in a fused run")
+			}
+			f.pureFilter = false
+			st.kind = fuseAlter
+			st.mode, st.window, st.hop, st.shift = n.Mode, n.Window, n.Hop, n.Shift
+			if n.Mode == LifeShift && n.Shift < 0 {
+				f.ctiShift += n.Shift
+			}
+		default:
+			panic("temporal: cannot fuse operator " + n.Kind.String())
+		}
+	}
+	return f
+}
+
+// applyRow runs every stage against one event in place; false drops it.
+func (f *fusedOp) applyRow(e *Event) bool {
+	for si := range f.stages {
+		st := &f.stages[si]
+		switch st.kind {
+		case fuseFilter:
+			if !st.pred(e.Payload) {
+				return false
+			}
+		case fuseProject:
+			row := st.arena.alloc(len(st.fns))
+			for i, fn := range st.fns {
+				row[i] = fn(e.Payload)
+			}
+			e.Payload = row
+		case fuseAlter:
+			switch st.mode {
+			case LifeWindow:
+				e.RE = e.LE + st.window
+			case LifeHop:
+				s := e.LE
+				e.LE = floorDiv(s, st.hop)*st.hop + st.hop
+				e.RE = floorDiv(s+st.window, st.hop)*st.hop + st.hop
+			case LifeShift:
+				e.LE += st.shift
+				e.RE += st.shift
+			}
+			if e.RE <= e.LE {
+				e.RE = e.LE + Tick
+			}
+		}
+	}
+	return true
+}
+
+func (f *fusedOp) OnEvent(e Event) {
+	if f.applyRow(&e) {
+		f.out.OnEvent(e)
+	}
+}
+
+func (f *fusedOp) OnCTI(t Time) { f.out.OnCTI(t + f.ctiShift) }
+func (f *fusedOp) OnFlush()     { f.out.OnFlush() }
+
+func (f *fusedOp) OnBatch(b *Batch) {
+	evs := b.Events
+	if f.pureFilter {
+		// Filter-only run: same zero-copy structure as filterOp.OnBatch —
+		// nothing dropped in the prefix scan forwards the producer's batch
+		// untouched (no CTI shift: a filter-only run has no alters).
+		i := 0
+		for i < len(evs) && f.passAll(evs[i].Payload) {
+			i++
+		}
+		if i == len(evs) {
+			if len(evs) > 0 || b.HasCTI {
+				f.bo.resolve(f.out).OnBatch(b)
+			}
+			return
+		}
+		kept := append(f.bo.buf[:0], evs[:i]...)
+		for i++; i < len(evs); i++ {
+			if f.passAll(evs[i].Payload) {
+				kept = append(kept, evs[i])
+			}
+		}
+		f.bo.emit(f.out, kept, b.CTI, b.HasCTI)
+		return
+	}
+	outEvs := f.bo.buf[:0]
+	for i := range evs {
+		e := evs[i]
+		if f.applyRow(&e) {
+			outEvs = append(outEvs, e)
+		}
+	}
+	cti := b.CTI
+	if b.HasCTI {
+		cti += f.ctiShift
+	}
+	f.bo.emit(f.out, outEvs, cti, b.HasCTI)
+}
+
+func (f *fusedOp) passAll(r Row) bool {
+	for si := range f.stages {
+		if !f.stages[si].pred(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// OnColBatch is the columnar entry point.
+func (f *fusedOp) OnColBatch(cb *ColBatch) {
+	n := cb.Len()
+	if n == 0 {
+		return
+	}
+	if !f.colOK {
+		f.colFallback(cb)
+		return
+	}
+	if cap(f.sel) < n {
+		f.sel = make([]bool, n)
+	}
+	sel := f.sel[:n]
+	for i := range sel {
+		sel[i] = true
+	}
+	anyFilter := false
+	lifetimesOwned := false
+	cur := cb
+	le, re := cb.LE, cb.RE
+	for si := range f.stages {
+		st := &f.stages[si]
+		switch st.kind {
+		case fuseFilter:
+			if !st.colPred(cur, sel) {
+				// A column shape the vectorized predicate does not handle
+				// exactly: discard partial progress and run the row path.
+				f.colFallback(cb)
+				return
+			}
+			anyFilter = true
+		case fuseProject:
+			mapped := make([]ColVec, len(st.srcCols))
+			for j, c := range st.srcCols {
+				mapped[j] = cur.Cols[c]
+			}
+			cur = &ColBatch{Cols: mapped, n: n}
+		case fuseAlter:
+			if !lifetimesOwned {
+				// First lifetime rewrite copies the (immutable) input
+				// vectors into scratch; later stages mutate in place.
+				f.le = append(f.le[:0], le...)
+				f.re = append(f.re[:0], re...)
+				le, re = f.le, f.re
+				lifetimesOwned = true
+			}
+			alterVec(st, le, re)
+		}
+	}
+	allPass := true
+	if anyFilter {
+		for _, keep := range sel {
+			if !keep {
+				allPass = false
+				break
+			}
+		}
+	}
+	nc := len(cur.Cols)
+	if allPass {
+		if f.colOut != nil {
+			// Full survival into a columnar consumer: hand the columns
+			// through as views and never build rows on the feed path.
+			// Lifetime vectors living in the kernel's reusable scratch are
+			// copied out first — the consumer may retain the batch, and
+			// everything it retains must be sealed storage.
+			if lifetimesOwned {
+				le = append([]Time(nil), le...)
+				re = append([]Time(nil), re...)
+			}
+			f.colOut.OnColBatch(&ColBatch{LE: le, RE: re, Cols: cur.Cols, n: n})
+			return
+		}
+		outEvs := f.materializeAll(f.bo.buf[:0], cur, le, re, n, nc)
+		f.bo.emit(f.out, outEvs, 0, false)
+		return
+	}
+	outEvs := f.bo.buf[:0]
+	idx := f.idx[:0]
+	for i, keep := range sel {
+		if keep {
+			idx = append(idx, int32(i))
+		}
+	}
+	f.idx = idx
+	if len(idx) > 0 {
+		if nc == 0 {
+			for _, i := range idx {
+				outEvs = append(outEvs, Event{LE: le[i], RE: re[i]})
+			}
+		} else {
+			slab := make([]Value, len(idx)*nc)
+			for c := range cur.Cols {
+				cur.Cols[c].fillIdx(slab[c:], nc, idx)
+			}
+			for j, i := range idx {
+				outEvs = append(outEvs, Event{LE: le[i], RE: re[i], Payload: Row(slab[j*nc : (j+1)*nc : (j+1)*nc])})
+			}
+		}
+	}
+	f.bo.emit(f.out, outEvs, 0, false)
+}
+
+// materializeAll transposes all n rows of cur (no selection) into fresh
+// event payloads appended to outEvs.
+func (f *fusedOp) materializeAll(outEvs []Event, cur *ColBatch, le, re []Time, n, nc int) []Event {
+	if nc == 0 {
+		for i := 0; i < n; i++ {
+			outEvs = append(outEvs, Event{LE: le[i], RE: re[i]})
+		}
+		return outEvs
+	}
+	slab := make([]Value, n*nc)
+	for c := range cur.Cols {
+		cur.Cols[c].fill(slab[c:], nc, n)
+	}
+	for i := 0; i < n; i++ {
+		outEvs = append(outEvs, Event{LE: le[i], RE: re[i], Payload: Row(slab[i*nc : (i+1)*nc : (i+1)*nc])})
+	}
+	return outEvs
+}
+
+// colFallback materializes the batch into a fresh per-call slab and runs
+// the row path. The fresh slab (never a shared reusable buffer) is what
+// makes deferred retention by a downstream operator safe.
+func (f *fusedOp) colFallback(cb *ColBatch) {
+	b := Batch{Events: cb.MaterializeEvents(nil)}
+	f.OnBatch(&b)
+}
+
+// alterVec applies one lifetime transform to the le/re vectors in place,
+// including the per-operator RE<=LE clamp the interpreted path applies.
+func alterVec(st *fusedStage, le, re []Time) {
+	switch st.mode {
+	case LifeWindow:
+		w := st.window
+		for i, s := range le {
+			re[i] = s + w
+		}
+	case LifeHop:
+		h, w := st.hop, st.window
+		for i := range le {
+			s := le[i]
+			le[i] = floorDiv(s, h)*h + h
+			re[i] = floorDiv(s+w, h)*h + h
+		}
+	case LifeShift:
+		d := st.shift
+		for i := range le {
+			le[i] += d
+			re[i] += d
+		}
+	}
+	for i := range le {
+		if re[i] <= le[i] {
+			re[i] = le[i] + Tick
+		}
+	}
+}
+
+// ColBatchSink is the columnar-entry contract: a sink that can consume a
+// ColBatch directly, without the caller materializing rows first. The
+// batch is immutable and remains owned by the caller; implementations
+// must not mutate its vectors and must finish reading before returning
+// (views made with Slice may be retained — they share sealed storage).
+type ColBatchSink interface {
+	OnColBatch(cb *ColBatch)
+}

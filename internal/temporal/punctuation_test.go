@@ -166,41 +166,88 @@ func TestMergerCompaction(t *testing.T) {
 	}
 }
 
-// The automatic CTI schedule is anchored at the first event and advances
-// by whole periods. The old derivation (lastCTI = triggering event time)
-// drifted the schedule toward sparse events and under-punctuated: with
-// period P and events at 0, 1.5P, 2.2P it fired once instead of twice.
+// autoCTICount drives an engine over point events at the given times
+// (period P) through one of the feed entry points and counts the CTIs
+// the sink observes.
+func autoCTICount(t *testing.T, P Time, drive func(eng *Engine)) int {
+	t.Helper()
+	var ctis int
+	sink := &FuncSink{CTI: func(Time) { ctis++ }}
+	eng, err := NewEngine(Scan("s", readingSchema()), WithSink(sink), WithCTIPeriod(P))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(eng)
+	return ctis
+}
+
+// ctiFeeds returns one driver per feed entry point (per-event, batched,
+// columnar), all over the same point events; every entry must punctuate
+// on the identical schedule.
+func ctiFeeds(feed []Time) map[string]func(eng *Engine) {
+	evs := make([]Event, len(feed))
+	for i, tm := range feed {
+		evs[i] = reading(tm, "m", 1)
+	}
+	return map[string]func(eng *Engine){
+		"per-event": func(eng *Engine) {
+			for _, e := range evs {
+				eng.Feed("s", e)
+			}
+		},
+		"batched": func(eng *Engine) {
+			eng.FeedBatch("s", &Batch{Events: append([]Event(nil), evs...)})
+		},
+		"columnar": func(eng *Engine) {
+			eng.FeedColBatch("s", ColBatchFromEvents(evs, len(evs[0].Payload)))
+		},
+	}
+}
+
+// The automatic CTI schedule is anchored at the last period boundary
+// strictly before the first event and advances by whole periods. The old
+// derivation (lastCTI = triggering event time) drifted the schedule
+// toward sparse events and under-punctuated; the old anchor (lastCTI =
+// first event time, no emission) additionally swallowed the boundary a
+// first event landed exactly on. With period P and events at 0, 1.5P,
+// 2.2P the schedule now fires at 0, 1.5P (boundary P passed) and 2.2P
+// (boundary 2P passed).
 func TestAutoCTIScheduleAnchored(t *testing.T) {
 	const P = Time(100)
 	feed := []Time{0, 3 * P / 2, 11 * P / 5} // 0, 1.5P, 2.2P
-	run := func(drive func(eng *Engine)) int {
-		var ctis int
-		sink := &FuncSink{CTI: func(Time) { ctis++ }}
-		eng, err := NewEngine(Scan("s", readingSchema()), WithSink(sink), WithCTIPeriod(P))
-		if err != nil {
-			t.Fatal(err)
+	for name, drive := range ctiFeeds(feed) {
+		if got := autoCTICount(t, P, drive); got != 3 {
+			t.Errorf("%s feed: %d auto CTIs, want 3 (schedule drifted)", name, got)
 		}
-		drive(eng)
-		return ctis
 	}
-	got := run(func(eng *Engine) {
-		for _, tm := range feed {
-			eng.Feed("s", reading(tm, "m", 1))
+}
+
+// A first event landing exactly on a period boundary must punctuate at
+// that boundary; before the anchor fix it only seeded the schedule and
+// the boundary was silently skipped.
+func TestAutoCTIFirstEventOnBoundary(t *testing.T) {
+	const P = Time(100)
+	for name, drive := range ctiFeeds([]Time{P, P + 50}) {
+		if got := autoCTICount(t, P, drive); got != 1 {
+			t.Errorf("%s feed: %d auto CTIs, want 1 (boundary landing skipped)", name, got)
 		}
-	})
-	if got != 2 {
-		t.Errorf("per-event feed: %d auto CTIs, want 2 (schedule drifted)", got)
 	}
-	// The batched entry must punctuate on the identical schedule.
-	got = run(func(eng *Engine) {
-		evs := make([]Event, len(feed))
-		for i, tm := range feed {
-			evs[i] = reading(tm, "m", 1)
+	// A wave strictly inside one period still has no boundary to fire at.
+	for name, drive := range ctiFeeds([]Time{P + 30, P + 50}) {
+		if got := autoCTICount(t, P, drive); got != 0 {
+			t.Errorf("%s feed: %d auto CTIs, want 0", name, got)
 		}
-		eng.FeedBatch("s", &Batch{Events: evs})
-	})
-	if got != 2 {
-		t.Errorf("batched feed: %d auto CTIs, want 2", got)
+	}
+}
+
+// A sparse single wave starting on a boundary is punctuated at that
+// boundary rather than ending the feed with no CTI at all.
+func TestAutoCTISingleWavePunctuated(t *testing.T) {
+	const P = Time(100)
+	for name, drive := range ctiFeeds([]Time{2 * P, 2*P + 10, 3*P - 1}) {
+		if got := autoCTICount(t, P, drive); got != 1 {
+			t.Errorf("%s feed: %d auto CTIs, want 1 (single wave un-punctuated)", name, got)
+		}
 	}
 }
 
