@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate servegate check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,11 @@ fmt:
 
 # Fails if non-test code picks up the deprecated engine constructors
 # (use NewEngine with options); the definitions themselves and the
-# facade re-exports are allowed.
+# facade re-exports are allowed. Likewise for the deprecated streaming
+# surface — the positional NewStreamingJobLegacy constructor and the
+# job-level Feed*/TryFeed methods (use the options constructor and
+# job.Source(...) Feeders): here even tests must migrate, except the
+# one sanctioned compat test that pins the delegation behavior.
 deprecations:
 	@out=$$(grep -rn --include='*.go' \
 		--exclude='*_test.go' \
@@ -30,6 +34,14 @@ deprecations:
 		| grep -v '^\./timr\.go:' || true); \
 	if [ -n "$$out" ]; then \
 		echo "deprecated engine constructors in non-test code:"; \
+		echo "$$out"; exit 1; fi
+	@out=$$(grep -rn --include='*.go' \
+		-E 'NewStreamingJobLegacy\(|(job|j|legacy)\.(Feed|FeedBatch|FeedColBatch|TryFeed)\(' . \
+		| grep -v '^\./internal/core/streaming\.go:' \
+		| grep -v '^\./internal/core/legacy_compat_test\.go:' \
+		| grep -v '^\./timr\.go:' || true); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated streaming surface (use NewStreamingJob options + job.Source feeders):"; \
 		echo "$$out"; exit 1; fi
 
 # Chaos equivalence under the race detector: streaming jobs with
@@ -61,15 +73,24 @@ fuzzgate:
 fusegate:
 	$(GO) test -race -count=1 -run 'TestFused' ./internal/temporal/ ./internal/core/ ./internal/bt/
 
+# Elastic-serving equivalence under the race detector: live partition
+# migration (forced splits/merges, mid-interval, composed with crash
+# chaos, and policy-driven) must be bit-identical to the static run,
+# and the serving tier's delivered scores must not change under
+# placement, pacing, or admission bounds.
+servegate:
+	$(GO) test -race -count=1 -run 'TestMigration|TestAutoRebalance|TestServe' ./internal/core/ ./internal/serve/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race chaos spillgate fuzzgate fusegate
+check: vet fmt deprecations race chaos spillgate fuzzgate fusegate servegate
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
-# Headline benchmarks (shuffle, Fig. 15/16, engine feed path) as
-# machine-readable JSON — the perf trajectory file compared across PRs.
+# Headline benchmarks (shuffle, Fig. 15/16, engine feed path, serving
+# tier) as machine-readable JSON — the perf trajectory file compared
+# across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
+	$(GO) run ./cmd/timr bench-json -out BENCH_pr8.json

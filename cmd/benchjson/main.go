@@ -1,109 +1,18 @@
-// Command benchjson runs the repo's headline benchmarks (shuffle,
-// spill, Fig. 15, Fig. 16, the engine feed path) and writes the results
-// as machine-readable JSON — the perf trajectory file tracked across
-// PRs. Usage:
-//
-//	go run ./cmd/benchjson -out BENCH_pr7.json
-//
-// It shells out to `go test -bench` (stdlib only, no benchstat
-// dependency) and parses the standard benchmark output format, keeping
-// ns/op plus any custom metrics the benchmarks report (rows/s,
-// events/sec, makespan_us, ...).
+// Command benchjson is the legacy front of the bench harness; new
+// callers use `timr bench-json`. Both delegate to internal/benchjson.
 package main
 
 import (
-	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
-	"os/exec"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"timr/internal/benchjson"
 )
 
-// Result is one benchmark measurement.
-type Result struct {
-	Op      string             `json:"op"`                // benchmark name, GOMAXPROCS suffix stripped
-	Package string             `json:"package"`           // Go package the benchmark lives in
-	Iters   int64              `json:"iters"`             // b.N of the final run
-	NsPerOp float64            `json:"ns_per_op"`         // wall time per op
-	Metrics map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric values (rows/s, ...)
-}
-
-// benchLine matches e.g.
-//
-//	BenchmarkShuffle_1M_Parallel-8   3   152391505 ns/op   6880823 rows/s
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
-
-// metricPair matches trailing "value unit" pairs after ns/op.
-var metricPair = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
-
-func parse(pkg string, out []byte, into *[]Result) {
-	for _, line := range strings.Split(string(out), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
-		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Op: strings.TrimPrefix(m[1], "Benchmark"), Package: pkg, Iters: iters, NsPerOp: ns}
-		for _, mp := range metricPair.FindAllStringSubmatch(m[4], -1) {
-			v, err := strconv.ParseFloat(mp[1], 64)
-			if err != nil {
-				continue
-			}
-			if r.Metrics == nil {
-				r.Metrics = make(map[string]float64)
-			}
-			r.Metrics[mp[2]] = v
-		}
-		*into = append(*into, r)
-	}
-}
-
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output JSON file")
-	pattern := flag.String("bench", "Shuffle_1M|Spill_1M|FlattenResident|MergeRuns|MergeStableSort|Fig15|Fig16", "benchmark regexp")
-	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
-	feedtime := flag.String("feedbenchtime", "20x", "benchtime for the EngineFeed pair")
-	flag.Parse()
-
-	type run struct {
-		pkg, pattern, benchtime string
-	}
-	runs := []run{
-		{"./internal/mapreduce", *pattern, *benchtime},
-		{"./internal/core", *pattern, *benchtime},
-		{".", *pattern, *benchtime},
-		// The engine feed-path pair finishes in microseconds per op; a
-		// 3-iteration run is noise-dominated, so it gets more iterations.
-		{".", "EngineFeed", *feedtime},
-	}
-	var results []Result
-	for _, r := range runs {
-		fmt.Fprintf(os.Stderr, "benchjson: %s -bench %q -benchtime %s\n", r.pkg, r.pattern, r.benchtime)
-		cmd := exec.Command("go", "test", "-run", "^$", "-bench", r.pattern, "-benchtime", r.benchtime, r.pkg)
-		raw, err := cmd.CombinedOutput()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s failed: %v\n%s", r.pkg, err, raw)
-			os.Exit(1)
-		}
-		parse(r.pkg, raw, &results)
-	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched")
+	fmt.Fprintln(os.Stderr, "benchjson: note: `go run ./cmd/benchjson` is deprecated; use `go run ./cmd/timr bench-json`")
+	if err := benchjson.RunCLI(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	enc, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 }

@@ -1,209 +1,58 @@
-// Command timr runs temporal queries over advertising logs on the
-// simulated map-reduce cluster, TiMR-style.
+// Command timr fronts the TiMR reproduction as subcommands:
+//
+//	timr run        one-shot temporal queries over advertising logs on
+//	                the simulated map-reduce cluster (the original mode)
+//	timr serve      long-running elastic serving tier: score arriving ad
+//	                events against the trained BT model under an
+//	                open-loop Zipf load, with live partition migration
+//	timr bench-json run the headline benchmarks and write the perf
+//	                trajectory JSON
 //
 // Usage:
 //
-//	timr -q clickcount [-window 6h] [-in events.tsv] [-machines N]
-//	timr -q bt         [-in events.tsv] [-machines N] [-z 1.28]
-//	timr -q botelim    [-in events.tsv]
-//	timr -sql "SELECT AdId, COUNT(*) AS C FROM events WHERE StreamId = 1
-//	           GROUP BY AdId WINDOW 6h" [-in events.tsv]
+//	timr run -q clickcount [-window 6h] [-in events.tsv] [-machines N]
+//	timr run -q bt         [-in events.tsv] [-machines N] [-z 1.28]
+//	timr run -sql "SELECT AdId, COUNT(*) AS C FROM events WHERE StreamId = 1
+//	               GROUP BY AdId WINDOW 6h" [-in events.tsv]
+//	timr serve [-requests N] [-rate R] [-machines N] [-rebalance] [-metrics]
+//	timr bench-json [-out BENCH_pr8.json]
 //
-// With -sql, the StreamSQL query runs against the `events` stream
-// (unified schema); if it carries no PARTITION BY annotation, the
-// cost-based optimizer chooses the partitioning — the full Figure-5
-// pipeline: parse → annotate → fragment → map-reduce.
-//
-// Input is the TSV produced by adgen (Time, StreamId, UserId, KwAdId);
-// with no -in, a default workload is generated in-process. Results are
-// written as TSV to stdout with __LE/__RE lifetime columns.
+// Bare `timr [flags]` (no subcommand) is the deprecated legacy spelling
+// of `timr run` and keeps working with a note on stderr.
 package main
 
 import (
-	"bufio"
-	"flag"
 	"fmt"
-	"io"
-	"log"
 	"os"
-	"strconv"
-	"strings"
-	"time"
 
-	"timr"
-	"timr/internal/bt"
-	"timr/internal/core"
-	"timr/internal/temporal"
-	"timr/internal/tsql"
+	"timr/internal/benchjson"
 )
 
 func main() {
-	query := flag.String("q", "clickcount", "query: clickcount | botelim | bt")
-	sql := flag.String("sql", "", "StreamSQL query over the `events` stream (overrides -q)")
-	in := flag.String("in", "", "input events TSV (default: generate a small workload)")
-	machines := flag.Int("machines", 16, "simulated cluster size")
-	window := flag.Duration("window", 6*time.Hour, "window for clickcount")
-	zThresh := flag.Float64("z", 1.28, "z threshold for bt feature selection")
-	budget := flag.Int64("budget", 0, "memory budget in bytes per reduce partition (0 = unlimited, -1 = spill everything)")
-	metrics := flag.Bool("metrics", false, "print per-stage and per-operator metrics to stderr after the run")
-	flag.Parse()
-
-	rows, err := loadRows(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "loaded %d events\n", len(rows))
-
-	cluster := timr.NewCluster(timr.ClusterConfig{Machines: *machines, MemoryBudget: *budget})
-	defer cluster.Close()
-	cluster.FS.Write("events", timr.SinglePartition(timr.UnifiedSchema(), rows))
-	cfg := timr.DefaultTiMRConfig()
-	var mroot *timr.MetricScope
-	if *metrics {
-		mroot = timr.NewMetricScope("timr")
-		cluster.Obs = mroot.Child("cluster")
-		cfg.Obs = mroot.Child("engine")
-	}
-	defer dumpMetrics(mroot)
-	t := timr.New(cluster, cfg)
-
-	if *sql != "" {
-		plan, err := tsql.Compile(*sql, tsql.Catalog{"events": timr.UnifiedSchema()})
-		if err != nil {
-			log.Fatal(err)
-		}
-		annotated := false
-		plan.Walk(func(n *temporal.Plan) {
-			if n.Kind == temporal.OpExchange {
-				annotated = true
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			runCmd(args[1:])
+			return
+		case "serve":
+			serveCmd(args[1:])
+			return
+		case "bench-json":
+			if err := benchjson.RunCLI(args[1:]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
-		})
-		if !annotated {
-			stats := core.DefaultStats()
-			stats.SourceRows["events"] = int64(len(rows))
-			stats.Machines = int64(*machines)
-			opt, cost, err := core.NewOptimizer(stats).Optimize(plan)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "optimizer annotated the plan (estimated cost %.3g):\n%s", cost, opt)
-			plan = opt
+			return
+		case "help", "-h", "-help", "--help":
+			fmt.Fprintln(os.Stderr, "usage: timr <run|serve|bench-json> [flags]\n\nrun flags:")
+			runFlags(nil).PrintDefaults()
+			fmt.Fprintln(os.Stderr, "\nserve flags:")
+			serveFlags(nil).PrintDefaults()
+			return
 		}
-		run(t, plan, "out")
-		return
 	}
-
-	switch *query {
-	case "clickcount":
-		w := timr.Time(window.Milliseconds())
-		plan := timr.Scan("events", timr.UnifiedSchema()).
-			Exchange(timr.PartitionBy{Cols: []string{"KwAdId"}}).
-			Where(timr.ColEqInt("StreamId", timr.StreamClick)).
-			GroupApply([]string{"KwAdId"}, func(g *timr.Plan) *timr.Plan {
-				return g.WithWindow(w).Count("ClickCount")
-			})
-		run(t, plan, "out")
-	case "botelim":
-		plan := timr.BotElimPlan(timr.DefaultBTParams(), true)
-		run(t, plan, "out")
-	case "bt":
-		p := timr.DefaultBTParams()
-		p.ZThreshold = *zThresh
-		horizon := rows[len(rows)-1][0].AsInt() + 1
-		p.TrainPeriod = horizon / 2
-		pipe := timr.NewBTPipeline(p, t)
-		start := time.Now()
-		if err := pipe.Run("events"); err != nil {
-			log.Fatal(err)
-		}
-		for _, ph := range pipe.Phases {
-			fmt.Fprintf(os.Stderr, "%-14s -> %-12s %8d rows  %v",
-				ph.Name, ph.Output, ph.Rows, ph.Duration.Round(time.Millisecond))
-			if ph.SpillSegments > 0 {
-				fmt.Fprintf(os.Stderr, "  (spilled %d segs, %d KB)",
-					ph.SpillSegments, ph.SpillBytes>>10)
-			}
-			fmt.Fprintln(os.Stderr)
-		}
-		fmt.Fprintf(os.Stderr, "end-to-end: %v\n", time.Since(start).Round(time.Millisecond))
-		emit(t, bt.DSScores)
-	default:
-		log.Fatalf("unknown query %q", *query)
-	}
-}
-
-// dumpMetrics prints the -metrics snapshot table; no-op when the flag is
-// off (nil scope). Deferred from main so every query path reports.
-func dumpMetrics(root *timr.MetricScope) {
-	if root == nil {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "\nmetrics:\n%s", root.Table())
-}
-
-func run(t *timr.TiMR, plan *timr.Plan, out string) {
-	start := time.Now()
-	stat, err := t.Run(plan, map[string]string{"events": "events"}, out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "%d stage(s) in %v\n", len(stat.Stages), time.Since(start).Round(time.Millisecond))
-	emit(t, out)
-}
-
-func emit(t *timr.TiMR, dataset string) {
-	events, err := t.ResultEvents(dataset)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	for _, e := range events {
-		fmt.Fprintf(w, "%d\t%d", e.LE, e.RE)
-		for _, v := range e.Payload {
-			fmt.Fprintf(w, "\t%s", v.String())
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprintf(os.Stderr, "%d result events\n", len(events))
-}
-
-func loadRows(path string) ([]timr.Row, error) {
-	if path == "" {
-		cfg := timr.DefaultWorkloadConfig()
-		cfg.Users, cfg.Days = 800, 2
-		return timr.GenerateWorkload(cfg).Rows, nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var rows []timr.Row
-	sc := bufio.NewScanner(bufio.NewReader(io.Reader(f)))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	first := true
-	for sc.Scan() {
-		line := sc.Text()
-		if first {
-			first = false
-			if strings.HasPrefix(line, "Time") {
-				continue // header
-			}
-		}
-		parts := strings.Split(line, "\t")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("bad line %q", line)
-		}
-		row := make(timr.Row, 4)
-		for i, p := range parts {
-			v, err := strconv.ParseInt(p, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad value %q: %w", p, err)
-			}
-			row[i] = timr.Int(v)
-		}
-		rows = append(rows, row)
-	}
-	return rows, sc.Err()
+	// No subcommand: the pre-subcommand CLI shape, kept for scripts.
+	fmt.Fprintln(os.Stderr, "timr: note: bare `timr [flags]` is deprecated; use `timr run [flags]`")
+	runCmd(args)
 }

@@ -1,0 +1,107 @@
+package main
+
+// timr serve: the elastic serving tier. Trains the BT models on the
+// first half of a generated workload, then scores an open-loop,
+// Zipf-skewed stream of ad events against them through the streaming
+// ScorePlan job, reporting p50/p99 scoring latency and sustained
+// events/s per partition. -rebalance turns on live partition migration
+// (split hot workers, merge cold ones); -intake bounds per-wave
+// admission so shed/deferred load becomes visible in the metrics.
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"timr/internal/core"
+	"timr/internal/obs"
+	"timr/internal/serve"
+	"timr/internal/workload"
+)
+
+type serveOpts struct {
+	users, keywords, ads int
+	requests, machines   int
+	rate                 float64
+	zipf                 float64
+	searchFrac           float64
+	seed                 int64
+	rebalance            bool
+	splitAbove           int
+	mergeBelow           int
+	intake               int
+	metrics              bool
+}
+
+func serveFlags(o *serveOpts) *flag.FlagSet {
+	if o == nil {
+		o = &serveOpts{}
+	}
+	fs := flag.NewFlagSet("timr serve", flag.ExitOnError)
+	fs.IntVar(&o.users, "users", 2000, "user population (training workload and serving load)")
+	fs.IntVar(&o.keywords, "keywords", 2000, "keyword vocabulary size")
+	fs.IntVar(&o.ads, "ads", 8, "ad classes")
+	fs.IntVar(&o.requests, "requests", 20000, "arrivals to serve")
+	fs.IntVar(&o.machines, "machines", 4, "partition fan-out of the serving job")
+	fs.Float64Var(&o.rate, "rate", 0, "paced arrivals per second (0 = feed as fast as admitted)")
+	fs.Float64Var(&o.zipf, "zipf", 1.2, "user skew exponent (> 1)")
+	fs.Float64Var(&o.searchFrac, "searchfrac", 0.4, "fraction of arrivals that are profile updates")
+	fs.Int64Var(&o.seed, "seed", 1, "workload and load-generator seed")
+	fs.BoolVar(&o.rebalance, "rebalance", false, "enable live partition migration (elastic placement)")
+	fs.IntVar(&o.splitAbove, "split-above", 0, "rebalance: split a worker over this many events/wave (0 = default)")
+	fs.IntVar(&o.mergeBelow, "merge-below", 0, "rebalance: retire a worker under this many events/wave (0 = default)")
+	fs.IntVar(&o.intake, "intake", 0, "per-source admission budget per wave (0 = unbounded)")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the full metrics table to stderr after the run")
+	return fs
+}
+
+func serveCmd(args []string) {
+	var o serveOpts
+	serveFlags(&o).Parse(args)
+
+	scope := obs.New("serve")
+	cfg := serve.Config{
+		Workload: workload.Config{
+			Users: o.users, Keywords: o.keywords, AdClasses: o.ads,
+			Days: 2, Seed: o.seed,
+		},
+		Load: workload.LoadConfig{
+			Seed: o.seed, ZipfS: o.zipf, SearchFraction: o.searchFrac,
+		},
+		Requests: o.requests,
+		Machines: o.machines,
+		Rate:     o.rate,
+		Intake:   o.intake,
+		Obs:      scope,
+	}
+	if o.rebalance {
+		cfg.Rebalance = &core.RebalanceConfig{
+			SplitAbove: o.splitAbove, MergeBelow: o.mergeBelow, MaxWorkers: o.machines,
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "serve: training models (users=%d keywords=%d ads=%d seed=%d)...\n",
+		o.users, o.keywords, o.ads, o.seed)
+	srv, err := serve.Prepare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d model events lodged; serving %d arrivals", len(srv.Models()), o.requests)
+	if o.rate > 0 {
+		fmt.Fprintf(os.Stderr, " paced at %.0f/s", o.rate)
+	}
+	fmt.Fprintln(os.Stderr, "...")
+
+	rep, _, err := srv.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	if rep.Migrations > 0 {
+		fmt.Printf("serve: workers=%v\n", rep.Workers)
+	}
+	if o.metrics {
+		fmt.Fprintf(os.Stderr, "\nmetrics:\n%s", scope.Table())
+	}
+}

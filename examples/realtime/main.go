@@ -97,8 +97,13 @@ func main() {
 	streamed := 0
 	job, err := timr.NewStreamingJob(annotated,
 		map[string]*timr.Schema{bt.SourceEvents: timr.UnifiedSchema()},
-		8, timr.DefaultTiMRConfig(),
-		func(timr.Event) { streamed++ })
+		timr.WithMachines(8),
+		timr.WithStreamConfig(timr.DefaultTiMRConfig()),
+		timr.WithOnEvent(func(timr.Event) { streamed++ }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed, err := job.Source(bt.SourceEvents)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +116,7 @@ func main() {
 			}
 			lastCTI = ts
 		}
-		if err := job.Feed(bt.SourceEvents, timr.PointEvent(ts, row)); err != nil {
+		if err := feed.Feed(timr.PointEvent(ts, row)); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -21,7 +21,11 @@ import (
 func driveStream(t *testing.T, plan *temporal.Plan, schemas map[string]*temporal.Schema,
 	source string, events []temporal.Event, machines int, cfg core.Config, period temporal.Time) []temporal.Event {
 	t.Helper()
-	job, err := core.NewStreamingJob(plan, schemas, machines, cfg, nil)
+	job, err := core.NewStreamingJob(plan, schemas, core.WithMachines(machines), core.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := job.Source(source)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +39,7 @@ func driveStream(t *testing.T, plan *temporal.Plan, schemas map[string]*temporal
 			}
 			last = e.LE
 		}
-		if err := job.Feed(source, e); err != nil {
+		if err := src.Feed(e); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -55,7 +59,11 @@ func driveStream(t *testing.T, plan *temporal.Plan, schemas map[string]*temporal
 func driveStreamCol(t *testing.T, plan *temporal.Plan, schemas map[string]*temporal.Schema,
 	source string, events []temporal.Event, machines int, cfg core.Config, period temporal.Time) []temporal.Event {
 	t.Helper()
-	job, err := core.NewStreamingJob(plan, schemas, machines, cfg, nil)
+	job, err := core.NewStreamingJob(plan, schemas, core.WithMachines(machines), core.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := job.Source(source)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +75,7 @@ func driveStreamCol(t *testing.T, plan *temporal.Plan, schemas map[string]*tempo
 			if hi > len(buf) {
 				hi = len(buf)
 			}
-			if err := job.FeedColBatch(source, temporal.ColBatchFromEvents(buf[lo:hi], ncols)); err != nil {
+			if err := src.FeedColBatch(temporal.ColBatchFromEvents(buf[lo:hi], ncols)); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,0 +1,83 @@
+package core
+
+// Compatibility coverage for the deprecated streaming surface: the
+// positional NewStreamingJobLegacy constructor and the job-level Feed*
+// methods must keep working, delegating to the options/Feeder paths.
+// This file is the one sanctioned caller of the deprecated names — the
+// `make check` deprecations gate excludes it by name.
+
+import (
+	"testing"
+
+	"timr/internal/temporal"
+)
+
+func TestLegacyStreamingSurfaceDelegates(t *testing.T) {
+	plan := func() *temporal.Plan {
+		return temporal.Scan("clicks", clickSchema()).
+			Exchange(temporal.PartitionBy{Cols: []string{"AdId"}}).
+			GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
+				return g.WithWindow(10).Count("C")
+			})
+	}
+	var events []temporal.Event
+	for i := 0; i < 200; i++ {
+		events = append(events, temporal.PointEvent(temporal.Time(i), temporal.Row{
+			temporal.Int(int64(i)), temporal.Int(int64(i % 3)), temporal.Int(int64(i % 2)),
+		}))
+	}
+	schemas := map[string]*temporal.Schema{"clicks": clickSchema()}
+
+	delivered := 0
+	legacy, err := NewStreamingJobLegacy(plan(), schemas, 3, DefaultConfig(),
+		func(temporal.Event) { delivered++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Feed("clicks", events[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.FeedBatch("clicks", events[1:100]); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.FeedColBatch("clicks", temporal.ColBatchFromEvents(events[100:], 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Feed("ghost", events[0]); err == nil {
+		t.Fatal("legacy Feed on unknown source must error")
+	}
+	if err := legacy.Advance(150); err != nil {
+		t.Fatal(err)
+	}
+	legacy.Flush()
+	got, err := legacy.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered == 0 {
+		t.Fatal("legacy onEvent positional arg was dropped")
+	}
+
+	job, err := NewStreamingJob(plan(), schemas, WithMachines(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := job.Source("clicks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FeedBatch(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Advance(150); err != nil {
+		t.Fatal(err)
+	}
+	job.Flush()
+	want, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.EventsEqual(got, want) {
+		t.Fatalf("legacy surface diverges from Feeder surface: %d vs %d events", len(got), len(want))
+	}
+}

@@ -32,10 +32,14 @@ type StreamingJob struct {
 	// bySource lists, for each raw source name, the stages consuming it
 	// (with per-stage input index).
 	bySource map[string][]stageInput
+	feeders  map[string]*Feeder
 	out      *streamBuffer
 	results  []temporal.Event
 	cfg      Config
 	machines int
+	rebal    RebalanceConfig
+	autoRbl  bool // run the rebalance policy at every wave
+	migs     []Migration
 	waves    int // completed punctuation waves (crash-draw input)
 	flushed  bool
 }
@@ -63,11 +67,75 @@ type stageInput struct {
 	src   int
 }
 
+// StreamOption configures NewStreamingJob, mirroring NewEngine's
+// functional options.
+type StreamOption func(*streamOptions)
+
+type streamOptions struct {
+	machines int
+	cfg      Config
+	onEvent  func(temporal.Event)
+	crash    *CrashConfig
+	intake   int64
+	rebal    *RebalanceConfig
+}
+
+// WithMachines sets the partition fan-out of hash-keyed fragments (the
+// streaming counterpart of the batch cluster size). Defaults to 1.
+func WithMachines(n int) StreamOption {
+	return func(o *streamOptions) { o.machines = n }
+}
+
+// WithConfig replaces the whole runtime Config (defaults to
+// DefaultConfig). Options applied after it — WithCrash — still win.
+func WithConfig(cfg Config) StreamOption {
+	return func(o *streamOptions) { o.cfg = cfg }
+}
+
+// WithOnEvent registers an incremental output callback: every result
+// event is delivered as its punctuation wave releases it, in addition to
+// accumulating for Results.
+func WithOnEvent(f func(temporal.Event)) StreamOption {
+	return func(o *streamOptions) { o.onEvent = f }
+}
+
+// WithCrash enables deterministic partition crash injection (overrides
+// any Config.Crash set via WithConfig, regardless of option order).
+func WithCrash(cc CrashConfig) StreamOption {
+	return func(o *streamOptions) { o.crash = &cc }
+}
+
+// WithIntake bounds per-source admission to perWave events between
+// punctuation waves: TryFeed refuses (ErrBacklogged) beyond the budget,
+// while the committed Feed paths still admit but count the overflow as
+// deferred load. Zero (the default) leaves intake unbounded.
+func WithIntake(perWave int) StreamOption {
+	return func(o *streamOptions) { o.intake = int64(perWave) }
+}
+
+// WithRebalance enables the elastic placement policy: at every
+// punctuation wave each stage may split its hottest worker or merge its
+// coldest one (see RebalanceConfig). Without this option workers stay
+// static unless ForceSplit/ForceMerge is called.
+func WithRebalance(rc RebalanceConfig) StreamOption {
+	return func(o *streamOptions) { o.rebal = &rc }
+}
+
 // NewStreamingJob fragments an annotated plan and wires the live DAG.
 // sources maps scan names to their schemas; output events are delivered
-// to Results after Flush (coalesced), and incrementally to onEvent if
-// non-nil.
-func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, machines int, cfg Config, onEvent func(temporal.Event)) (*StreamingJob, error) {
+// to Results after Flush (coalesced), and incrementally to the
+// WithOnEvent callback if set. Remaining knobs arrive as functional
+// options: WithMachines, WithConfig, WithCrash, WithIntake,
+// WithRebalance.
+func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, opts ...StreamOption) (*StreamingJob, error) {
+	o := streamOptions{machines: 1, cfg: DefaultConfig()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.crash != nil {
+		o.cfg.Crash = *o.crash
+	}
+	cfg, onEvent := o.cfg, o.onEvent
 	// MakeFragments wants dataset bindings; in streaming mode the
 	// "dataset" names are just the source names.
 	bind := make(map[string]string, len(sources))
@@ -78,14 +146,18 @@ func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, m
 	if err != nil {
 		return nil, err
 	}
+	machines := o.machines
 	if machines < 1 {
 		machines = 1
 	}
 	j := &StreamingJob{
 		frags:    frags,
 		bySource: make(map[string][]stageInput),
+		feeders:  make(map[string]*Feeder),
 		cfg:      cfg,
 		machines: machines,
+		rebal:    defaultRebalance(o.rebal, machines),
+		autoRbl:  o.rebal != nil,
 	}
 	outScope := cfg.Obs.Child("stream.out")
 	j.out = &streamBuffer{
@@ -123,64 +195,53 @@ func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, m
 			j.bySource[in.ScanName] = append(j.bySource[in.ScanName], stageInput{stage: st, src: srcIdx})
 		}
 	}
+	for name, ins := range j.bySource {
+		j.feeders[name] = newFeeder(j, name, ins, o.intake)
+	}
 	return j, nil
 }
 
-// Feed pushes one source event into the dataflow. Events must arrive in
-// nondecreasing LE order per source (a live feed's natural order).
+// NewStreamingJobLegacy is the pre-options positional constructor.
+//
+// Deprecated: use NewStreamingJob(plan, sources, WithMachines(machines),
+// WithConfig(cfg), WithOnEvent(onEvent)).
+func NewStreamingJobLegacy(plan *temporal.Plan, sources map[string]*temporal.Schema, machines int, cfg Config, onEvent func(temporal.Event)) (*StreamingJob, error) {
+	return NewStreamingJob(plan, sources, WithMachines(machines), WithConfig(cfg), WithOnEvent(onEvent))
+}
+
+// Feed pushes one source event into the dataflow.
+//
+// Deprecated: resolve the source once with job.Source(source) and use
+// Feeder.Feed — the per-call map lookup disappears and admission
+// accounting attaches there.
 func (j *StreamingJob) Feed(source string, ev temporal.Event) error {
-	if j.flushed {
-		return ErrFlushed
+	f, err := j.Source(source)
+	if err != nil {
+		return err
 	}
-	ins, ok := j.bySource[source]
-	if !ok {
-		return fmt.Errorf("timr: unknown streaming source %q", source)
-	}
-	for _, in := range ins {
-		in.stage.route(in.src, ev)
-	}
-	return nil
+	return f.Feed(ev)
 }
 
-// FeedBatch pushes a run of source events (nondecreasing LE) into the
-// dataflow, routing the whole run per consuming stage in one call: the
-// routing tags are carved from one slab and single-partition stages
-// admit the run with one buffer append.
+// FeedBatch pushes a run of source events into the dataflow.
+//
+// Deprecated: use job.Source(source) and Feeder.FeedBatch.
 func (j *StreamingJob) FeedBatch(source string, events []temporal.Event) error {
-	if j.flushed {
-		return ErrFlushed
+	f, err := j.Source(source)
+	if err != nil {
+		return err
 	}
-	ins, ok := j.bySource[source]
-	if !ok {
-		return fmt.Errorf("timr: unknown streaming source %q", source)
-	}
-	for _, in := range ins {
-		in.stage.routeBatch(in.src, events)
-	}
-	return nil
+	return f.FeedBatch(events)
 }
 
-// FeedColBatch pushes a columnar source batch into the dataflow. Each
-// consuming stage materializes the rows directly into its tagged routing
-// slab (the column→row transpose and the routing-tag copy are one pass),
-// and hash-partitioned stages compute partition hashes column-at-a-time,
-// so decode-once ingest and per-event ingest produce identical downstream
-// output without an intermediate event materialization.
+// FeedColBatch pushes a columnar source batch into the dataflow.
+//
+// Deprecated: use job.Source(source) and Feeder.FeedColBatch.
 func (j *StreamingJob) FeedColBatch(source string, cb *temporal.ColBatch) error {
-	if j.flushed {
-		return ErrFlushed
+	f, err := j.Source(source)
+	if err != nil {
+		return err
 	}
-	if cb == nil || cb.Len() == 0 {
-		return nil
-	}
-	ins, ok := j.bySource[source]
-	if !ok {
-		return fmt.Errorf("timr: unknown streaming source %q", source)
-	}
-	for _, in := range ins {
-		in.stage.routeColBatch(in.src, cb)
-	}
-	return nil
+	return f.FeedColBatch(cb)
 }
 
 // Advance propagates a punctuation wave through the DAG: stage by stage
@@ -198,6 +259,14 @@ func (j *StreamingJob) Advance(t temporal.Time) error {
 	}
 	j.out.advance(t)
 	j.waves++
+	if j.autoRbl {
+		for _, st := range j.stages {
+			st.rebalance()
+		}
+	}
+	for _, f := range j.feeders {
+		f.resetWave()
+	}
 	return nil
 }
 
@@ -243,6 +312,15 @@ type streamStage struct {
 	minSpan int
 	hasSpan bool
 
+	// Elastic placement: partitions (shards) are assigned to workers, and
+	// the rebalance policy moves shards between workers by checkpoint
+	// transfer + replay (see migrate.go). The shard space itself — hash
+	// modulo or span id — never changes, so routing is placement-blind.
+	workers    []*streamWorker
+	assign     map[int]int // shard (partition id) → worker id
+	nextWorker int
+	lastLoad   map[int]int // per shard: events admitted in the last wave
+
 	// Routing scratch, reused across runs (barrier buffers copy event
 	// structs on push, so recycling these is safe).
 	one      [1]temporal.Event
@@ -260,6 +338,10 @@ type streamStage struct {
 	recoveries *obs.Counter // partitions rebuilt from checkpoint + replay
 	ckptBytes  *obs.Counter // checkpoint bytes written at waves
 	replayed   *obs.Counter // events replayed from the log after a crash
+
+	migrations *obs.Counter // shards moved between workers
+	migBytes   *obs.Counter // checkpoint bytes transferred by migrations
+	workersG   *obs.Gauge   // current worker count
 }
 
 // maxSpanFanout bounds how many lazy span partitions one event may be
@@ -303,6 +385,11 @@ func (j *StreamingJob) newStage(frag *Fragment) (*streamStage, error) {
 		recoveries:   sc.Counter("recoveries"),
 		ckptBytes:    sc.Counter("checkpoint_bytes"),
 		replayed:     sc.Counter("replayed_events"),
+		migrations:   sc.Counter("migrations"),
+		migBytes:     sc.Counter("migrated_bytes"),
+		workersG:     sc.Gauge("workers"),
+		assign:       make(map[int]int),
+		lastLoad:     make(map[int]int),
 	}
 	// Validate the fragment root up front: partitions compile engines
 	// lazily (possibly mid-feed, on the first event into a new span), and
@@ -355,6 +442,7 @@ func (st *streamStage) partition(id int) *streamPartition {
 		},
 	}
 	st.parts[id] = p
+	st.place(id)
 	st.arm(p)
 	if st.spans != nil && (!st.hasSpan || id < st.minSpan) {
 		// New earliest span: it inherits ownership of everything before
@@ -563,7 +651,11 @@ func (st *streamStage) arm(p *streamPartition) {
 // Afterwards each partition checkpoints its engine, resets its replay log
 // to the events still pending, and draws its fate for the next interval.
 func (st *streamStage) advance(t temporal.Time) {
-	for _, p := range st.parts {
+	// Sorted order: per-partition work is independent, but the rebalance
+	// policy reads the per-shard loads this loop records, so the walk must
+	// not depend on map iteration order.
+	for _, id := range st.sortedParts() {
+		p := st.parts[id]
 		if p.crashAt >= 0 {
 			// Armed crash no feed reached: fire it at the wave boundary so
 			// quiet partitions crash too.
@@ -574,9 +666,19 @@ func (st *streamStage) advance(t temporal.Time) {
 		p.ckpt = p.eng.Checkpoint()
 		st.ckptBytes.Add(int64(len(p.ckpt)))
 		p.log = append(p.log[:0], p.buf.pending...)
+		st.lastLoad[p.id] = p.pushes
 		p.pushes = 0
 		st.arm(p)
 	}
+}
+
+func (st *streamStage) sortedParts() []int {
+	ids := make([]int, 0, len(st.parts))
+	for id := range st.parts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 func (st *streamStage) flush() {

@@ -16,9 +16,17 @@ import (
 func runStreaming(t *testing.T, plan *temporal.Plan, sources map[string]*temporal.Schema,
 	feeds map[string][]temporal.Event, machines int, period temporal.Time) []temporal.Event {
 	t.Helper()
-	job, err := NewStreamingJob(plan, sources, machines, DefaultConfig(), nil)
+	job, err := NewStreamingJob(plan, sources, WithMachines(machines))
 	if err != nil {
 		t.Fatal(err)
+	}
+	feeders := make(map[string]*Feeder, len(feeds))
+	for src := range feeds {
+		f, err := job.Source(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeders[src] = f
 	}
 	var all []temporal.SourceEvent
 	for src, evs := range feeds {
@@ -47,7 +55,7 @@ func runStreaming(t *testing.T, plan *temporal.Plan, sources map[string]*tempora
 		} else if last == temporal.MinTime {
 			last = se.Event.LE
 		}
-		if err := job.Feed(se.Source, se.Event); err != nil {
+		if err := feeders[se.Source].Feed(se.Event); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -231,8 +239,13 @@ func TestStreamingIncrementalDelivery(t *testing.T) {
 		})
 	delivered := 0
 	job, err := NewStreamingJob(plan,
-		map[string]*temporal.Schema{"clicks": clickSchema()}, 2, DefaultConfig(),
-		func(temporal.Event) { delivered++ })
+		map[string]*temporal.Schema{"clicks": clickSchema()},
+		WithMachines(2),
+		WithOnEvent(func(temporal.Event) { delivered++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks, err := job.Source("clicks")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +253,7 @@ func TestStreamingIncrementalDelivery(t *testing.T) {
 		ev := temporal.PointEvent(temporal.Time(i*5), temporal.Row{
 			temporal.Int(int64(i * 5)), temporal.Int(int64(i % 3)), temporal.Int(int64(i % 2)),
 		})
-		if err := job.Feed("clicks", ev); err != nil {
+		if err := clicks.Feed(ev); err != nil {
 			t.Fatal(err)
 		}
 		if i%10 == 9 {
@@ -317,7 +330,12 @@ func TestStreamingMaxSpanFanoutTruncation(t *testing.T) {
 		Exchange(temporal.PartitionBy{Temporal: true, SpanWidth: width}).
 		Count("C")
 	job, err := NewStreamingJob(plan,
-		map[string]*temporal.Schema{"evs": clickSchema()}, 4, cfg, nil)
+		map[string]*temporal.Schema{"evs": clickSchema()},
+		WithMachines(4), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evsSrc, err := job.Source("evs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +356,7 @@ func TestStreamingMaxSpanFanoutTruncation(t *testing.T) {
 		}
 	}
 	for i, e := range events {
-		if err := job.Feed("evs", e); err != nil {
+		if err := evsSrc.Feed(e); err != nil {
 			t.Fatal(err)
 		}
 		if i%15 == 14 {
@@ -402,19 +420,23 @@ func TestStreamingUseAfterFlush(t *testing.T) {
 		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
 			return g.WithWindow(10).Count("C")
 		})
-	job, err := NewStreamingJob(plan, map[string]*temporal.Schema{"clicks": clickSchema()}, 2, DefaultConfig(), nil)
+	job, err := NewStreamingJob(plan, map[string]*temporal.Schema{"clicks": clickSchema()}, WithMachines(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks, err := job.Source("clicks")
 	if err != nil {
 		t.Fatal(err)
 	}
 	ev := temporal.PointEvent(1, temporal.Row{temporal.Int(1), temporal.Int(1), temporal.Int(1)})
-	if err := job.Feed("clicks", ev); err != nil {
+	if err := clicks.Feed(ev); err != nil {
 		t.Fatal(err)
 	}
 	job.Flush()
-	if err := job.Feed("clicks", ev); !errors.Is(err, ErrFlushed) {
+	if err := clicks.Feed(ev); !errors.Is(err, ErrFlushed) {
 		t.Fatalf("Feed after Flush: err = %v, want ErrFlushed", err)
 	}
-	if err := job.FeedBatch("clicks", []temporal.Event{ev}); !errors.Is(err, ErrFlushed) {
+	if err := clicks.FeedBatch([]temporal.Event{ev}); !errors.Is(err, ErrFlushed) {
 		t.Fatalf("FeedBatch after Flush: err = %v, want ErrFlushed", err)
 	}
 	if err := job.Advance(5); !errors.Is(err, ErrFlushed) {
@@ -449,7 +471,7 @@ func TestStreamingJobValidatesFragmentsUpFront(t *testing.T) {
 	)
 	plan := temporal.Scan("s", schA).
 		Join(temporal.Scan("s", schB).WithWindow(5), []string{"K"}, []string{"K"}, nil)
-	if _, err := NewStreamingJob(plan, map[string]*temporal.Schema{"s": schA}, 2, DefaultConfig(), nil); err == nil {
+	if _, err := NewStreamingJob(plan, map[string]*temporal.Schema{"s": schA}, WithMachines(2)); err == nil {
 		t.Fatal("conflicting scan schemas must fail NewStreamingJob up front")
 	}
 }
@@ -460,14 +482,14 @@ func TestStreamingUnknownSource(t *testing.T) {
 		GroupApply([]string{"AdId"}, func(g *temporal.Plan) *temporal.Plan {
 			return g.WithWindow(10).Count("C")
 		})
-	job, err := NewStreamingJob(plan, map[string]*temporal.Schema{"clicks": clickSchema()}, 2, DefaultConfig(), nil)
+	job, err := NewStreamingJob(plan, map[string]*temporal.Schema{"clicks": clickSchema()}, WithMachines(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := job.Feed("ghost", temporal.PointEvent(1, nil)); err == nil {
+	if _, err := job.Source("ghost"); err == nil {
 		t.Fatal("unknown source must error")
 	}
-	if _, err := NewStreamingJob(plan, map[string]*temporal.Schema{}, 2, DefaultConfig(), nil); err == nil {
+	if _, err := NewStreamingJob(plan, map[string]*temporal.Schema{}, WithMachines(2)); err == nil {
 		t.Fatal("missing source binding must error")
 	}
 }

@@ -32,8 +32,14 @@ func StreamingChaos(c *Context) (*Table, error) {
 		scope := obs.New("chaos")
 		ccfg := core.DefaultConfig()
 		ccfg.Obs = scope
-		ccfg.Crash = core.CrashConfig{Rate: rate, Seed: seed}
-		job, err := core.NewStreamingJob(bt.BotElimPlan(p, true), schemas, c.Opt.Machines, ccfg, nil)
+		job, err := core.NewStreamingJob(bt.BotElimPlan(p, true), schemas,
+			core.WithMachines(c.Opt.Machines),
+			core.WithConfig(ccfg),
+			core.WithCrash(core.CrashConfig{Rate: rate, Seed: seed}))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		src, err := job.Source(bt.SourceEvents)
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -48,7 +54,7 @@ func StreamingChaos(c *Context) (*Table, error) {
 				}
 				last = e.LE
 			}
-			if err := job.Feed(bt.SourceEvents, e); err != nil {
+			if err := src.Feed(e); err != nil {
 				return nil, nil, 0, err
 			}
 		}

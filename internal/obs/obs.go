@@ -23,6 +23,7 @@ package obs
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -87,29 +88,72 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Histogram records a distribution of durations: count, sum, min, max.
-// That is enough for the snapshot table to report n/avg/min/max per
-// scope without per-observation allocation; full bucketing is not worth
-// the cost at event granularity.
+// Histogram bucket layout: values below histLinear land in their own
+// exact bucket; above that, each power of two is cut into histLinear
+// linear sub-buckets (an HDR-histogram-style log-linear layout), so the
+// relative quantile error is bounded by 1/histLinear = 6.25% while the
+// whole table stays a flat fixed-size array of atomics — one Add per
+// observation, no allocation, no locks.
+const (
+	histSubBits = 4
+	histLinear  = 1 << histSubBits                           // 16 exact buckets + 16 sub-buckets per octave
+	histBuckets = histLinear + (63-histSubBits)<<histSubBits // exps histSubBits..62
+)
+
+// histBucket maps a non-negative nanosecond value to its bucket index.
+func histBucket(ns int64) int {
+	if ns < histLinear {
+		return int(ns)
+	}
+	e := int64(bits.Len64(uint64(ns))) - 1 // 2^e <= ns < 2^(e+1), e >= histSubBits
+	sub := (ns >> (e - histSubBits)) & (histLinear - 1)
+	return int((e-histSubBits)<<histSubBits) + histLinear + int(sub)
+}
+
+// histValue returns the representative value (bucket midpoint) of a
+// bucket index — the value Quantile reports for ranks landing there.
+func histValue(b int) int64 {
+	if b < histLinear {
+		return int64(b)
+	}
+	rest := int64(b - histLinear)
+	e := rest>>histSubBits + histSubBits
+	sub := rest & (histLinear - 1)
+	lo := int64(1)<<e + sub<<(e-histSubBits)
+	return lo + int64(1)<<(e-histSubBits)/2
+}
+
+// Histogram records a distribution of durations: count, sum, min, max,
+// plus a fixed log-linear bucket table dense enough to answer quantile
+// reads (p50/p99 latency is a first-class serving metric) within a
+// bounded ~6% relative error. Updates stay single atomic operations per
+// field, so the histogram remains race-free and allocation-free on the
+// observation path.
 type Histogram struct {
 	count atomic.Int64
 	sum   atomic.Int64 // nanoseconds
 	min   atomic.Int64 // nanoseconds; valid only when count > 0
 	max   atomic.Int64 // nanoseconds
+	bkt   [histBuckets]atomic.Int64
 }
 
-// Observe records one duration. No-op on a nil histogram.
+// Observe records one duration. Negative durations clamp to zero.
+// No-op on a nil histogram.
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
 	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
 	if h.count.Add(1) == 1 {
 		// First observation seeds min; racing observers converge via
 		// the CAS loops below.
 		h.min.Store(ns)
 	}
 	h.sum.Add(ns)
+	h.bkt[histBucket(ns)].Add(1)
 	for {
 		cur := h.min.Load()
 		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
@@ -122,6 +166,47 @@ func (h *Histogram) Observe(d time.Duration) {
 			break
 		}
 	}
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the observed
+// distribution, accurate to the bucket resolution (6.25% relative, exact
+// below 16ns). It walks the bucket table with individually-atomic reads —
+// the same individually-(not mutually-)consistent snapshot semantics as
+// Counter and Gauge — and returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= total {
+		// The top rank is the observed maximum exactly — p100 should
+		// report the recorded extreme, not its bucket midpoint.
+		return time.Duration(h.max.Load())
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.bkt[b].Load()
+		if cum >= rank {
+			v := histValue(b)
+			// Clamp to the observed extremes so a single-bucket
+			// distribution reports its true min/max, not the midpoint.
+			if mx := h.max.Load(); v > mx {
+				v = mx
+			}
+			if mn := h.min.Load(); v < mn {
+				v = mn
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max.Load())
 }
 
 // Count returns the number of observations (zero for a nil histogram).
@@ -274,7 +359,7 @@ const (
 )
 
 // Point is one metric reading in a snapshot. Value carries the
-// counter/gauge value; histograms use Count/Sum/Min/Max instead.
+// counter/gauge value; histograms use Count/Sum/Min/Max/P50/P99 instead.
 type Point struct {
 	Scope string // dotted scope path, root included
 	Name  string
@@ -283,6 +368,7 @@ type Point struct {
 
 	Count         int64 // histogram only
 	Sum, Min, Max time.Duration
+	P50, P99      time.Duration // bucket-resolution quantiles
 }
 
 // Snapshot walks the scope tree and returns every metric, sorted by
@@ -317,6 +403,7 @@ func (s *Scope) collect(path string, pts *[]Point) {
 		*pts = append(*pts, Point{
 			Scope: path, Name: n, Kind: KindHistogram,
 			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99),
 		})
 	}
 	names := make([]string, 0, len(s.children))
@@ -359,8 +446,8 @@ func (s *Scope) Table() string {
 				v = "n=0"
 			} else {
 				avg := time.Duration(int64(p.Sum) / p.Count)
-				v = fmt.Sprintf("n=%d sum=%s avg=%s max=%s",
-					p.Count, round(p.Sum), round(avg), round(p.Max))
+				v = fmt.Sprintf("n=%d sum=%s avg=%s p50=%s p99=%s max=%s",
+					p.Count, round(p.Sum), round(avg), round(p.P50), round(p.P99), round(p.Max))
 			}
 		} else {
 			v = fmt.Sprintf("%d", p.Value)

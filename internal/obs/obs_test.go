@@ -118,6 +118,119 @@ func TestNilSafety(t *testing.T) {
 	}
 }
 
+// Quantiles must agree with a sorted reference within the bucket
+// resolution: exact below 16ns, and within the log-linear bucket's half
+// width (≲6.25% relative) above it.
+func TestHistogramQuantileVsSortedReference(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(i int) int64 // nanoseconds
+		n    int
+	}{
+		{"uniform", func(i int) int64 { return int64(i+1) * 1000 }, 5000},
+		{"exactSmall", func(i int) int64 { return int64(i % 16) }, 640},
+		{"heavyTail", func(i int) int64 {
+			v := int64(100)
+			for j := 0; j < i%20; j++ {
+				v *= 2
+			}
+			return v + int64(i%97)
+		}, 3000},
+		{"constant", func(int) int64 { return 123456 }, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := New("t").Histogram("lat")
+			vals := make([]int64, tc.n)
+			for i := range vals {
+				vals[i] = tc.gen(i)
+				h.Observe(time.Duration(vals[i]))
+			}
+			sortInt64(vals)
+			for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+				rank := int(q*float64(tc.n) + 0.5)
+				if rank < 1 {
+					rank = 1
+				}
+				if rank > tc.n {
+					rank = tc.n
+				}
+				want := vals[rank-1]
+				got := int64(h.Quantile(q))
+				// Bucket resolution: exact for small values, else one
+				// sub-bucket of relative width 1/16 (midpoint reported,
+				// so half a bucket ≈ 3.2%; allow the full bucket to
+				// absorb rank-boundary effects).
+				tol := want >> histSubBits
+				if tol < 1 {
+					tol = 1
+				}
+				if got < want-tol || got > want+tol {
+					t.Fatalf("q=%.2f: got %d, sorted reference %d (tol %d)", q, got, want, tol)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must read 0")
+	}
+	h := New("t").Histogram("lat")
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must read 0")
+	}
+	h.Observe(-time.Second) // clamps to 0
+	if h.Quantile(0.5) != 0 || h.Min() != 0 {
+		t.Fatal("negative observation must clamp to 0")
+	}
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(1.0); got != time.Millisecond {
+		t.Fatalf("p100 = %s, want clamp to observed max 1ms", got)
+	}
+}
+
+// Quantile reads race-free against concurrent observers, with the same
+// individually-consistent snapshot semantics as Counter/Gauge, and the
+// snapshot Point carries P50/P99.
+func TestHistogramQuantileConcurrentSnapshot(t *testing.T) {
+	root := New("t")
+	h := root.Histogram("lat")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(time.Duration(i%1000+1) * time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		q := h.Quantile(0.99)
+		if q < 0 || q > time.Millisecond+time.Microsecond {
+			t.Errorf("p99 out of observed range: %s", q)
+			break
+		}
+		_ = root.Snapshot()
+	}
+	wg.Wait()
+	pts := root.Snapshot()
+	if len(pts) != 1 || pts[0].P50 == 0 || pts[0].P99 < pts[0].P50 {
+		t.Fatalf("snapshot point missing quantiles: %+v", pts)
+	}
+}
+
+func sortInt64(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
 func TestTable(t *testing.T) {
 	root := New("timr")
 	root.Child("stage").Counter("rows").Add(42)

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"timr/internal/core"
+	"timr/internal/temporal"
+	"timr/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		Workload: workload.Config{
+			Users: 200, Keywords: 300, AdClasses: 4, Days: 2, Seed: 9,
+			BotFraction: 0.01,
+		},
+		Load:     workload.LoadConfig{Seed: 5},
+		Requests: 1500,
+		Machines: 4,
+	}
+}
+
+func TestServeScoresArrivals(t *testing.T) {
+	srv, err := Prepare(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, results, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1500 {
+		t.Fatalf("requests = %d, want 1500", rep.Requests)
+	}
+	if rep.Impressions == 0 || rep.Searches == 0 {
+		t.Fatalf("degenerate mix: %d impressions, %d searches", rep.Impressions, rep.Searches)
+	}
+	// Every impression carries feature rows and the models cover every
+	// ad, so every impression must come back scored.
+	if rep.Scored != rep.Impressions {
+		t.Fatalf("scored %d of %d impressions", rep.Scored, rep.Impressions)
+	}
+	if len(results) == 0 {
+		t.Fatal("no score events delivered")
+	}
+	for _, e := range results[:10] {
+		s := e.Payload[4].AsFloat()
+		if s < 0 || s > 1 {
+			t.Fatalf("score %f outside [0,1]", s)
+		}
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("latency quantiles broken: p50=%s p99=%s", rep.P50, rep.P99)
+	}
+	if rep.EventsPerSec <= 0 || rep.Partitions <= 0 || rep.PerPartition <= 0 {
+		t.Fatalf("throughput report broken: %+v", rep)
+	}
+	// The model learned the planted correlations: clicked impressions
+	// score higher on average.
+	if rep.MeanScoreClicked <= rep.MeanScoreUnclicked {
+		t.Fatalf("model separation inverted: clicked %.4f <= unclicked %.4f",
+			rep.MeanScoreClicked, rep.MeanScoreUnclicked)
+	}
+	if !strings.Contains(rep.String(), "events_per_sec_per_partition=") {
+		t.Fatalf("report misses the per-partition metric:\n%s", rep.String())
+	}
+}
+
+func TestServeDeterministicAcrossPlacementAndChaos(t *testing.T) {
+	// The delivered scores are a pure function of dataset + load config:
+	// pacing, elastic placement, and admission bounds must not change a
+	// byte of output.
+	srv, err := Prepare(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, static, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	cfg.Rebalance = &core.RebalanceConfig{SplitAbove: 50, MergeBelow: 4, MaxWorkers: 4}
+	cfg.Intake = 64
+	elastic, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, got, err := elastic.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !temporal.EventsEqual(got, static) {
+		t.Fatalf("elastic serving diverges: %d vs %d events", len(got), len(static))
+	}
+	if rep.Migrations == 0 {
+		t.Log("note: rebalance policy performed no migrations at this load")
+	}
+}
+
+func TestServePacedMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.Requests = 300
+	cfg.Rate = 50_000 // fast enough to finish promptly, still paced
+	cfg.Queue = 32
+	srv, err := Prepare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := srv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 300 {
+		t.Fatalf("paced run processed %d of 300 requests", rep.Requests)
+	}
+	if rep.Scored != rep.Impressions {
+		t.Fatalf("paced run scored %d of %d impressions", rep.Scored, rep.Impressions)
+	}
+}
+
+func TestPrepareRejectsScheduleOverrun(t *testing.T) {
+	cfg := testConfig()
+	cfg.Requests = 1 << 30
+	if _, err := Prepare(cfg); err == nil {
+		t.Fatal("Prepare must reject a schedule past the model validity window")
+	}
+}
+
+func BenchmarkServeOpenLoop(b *testing.B) {
+	cfg := testConfig()
+	cfg.Requests = 2000
+	srv, err := Prepare(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last *Report
+	for i := 0; i < b.N; i++ {
+		rep, _, err := srv.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(float64(last.P50.Microseconds()), "p50_us")
+	b.ReportMetric(float64(last.P99.Microseconds()), "p99_us")
+	b.ReportMetric(last.EventsPerSec, "events/s")
+	b.ReportMetric(last.PerPartition, "events/s/part")
+}

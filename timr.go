@@ -247,6 +247,18 @@ type (
 	// CrashConfig enables deterministic partition crash injection in
 	// streaming jobs; recovery restores checkpoints and replays logs.
 	CrashConfig = core.CrashConfig
+	// StreamOption configures NewStreamingJob (WithMachines,
+	// WithStreamConfig, WithOnEvent, WithCrash, WithIntake, WithRebalance).
+	StreamOption = core.StreamOption
+	// Feeder is the per-source ingest handle returned by
+	// StreamingJob.Source: Feed/FeedBatch/FeedColBatch plus the
+	// non-blocking TryFeed admission path.
+	Feeder = core.Feeder
+	// RebalanceConfig tunes the elastic worker split/merge policy of a
+	// streaming job.
+	RebalanceConfig = core.RebalanceConfig
+	// Migration records one live shard transfer between workers.
+	Migration = core.Migration
 )
 
 // Framework constructors.
@@ -260,6 +272,24 @@ var (
 	EventsToRows      = core.EventsToRows
 	RowsToEvents      = core.RowsToEvents
 	NewStreamingJob   = core.NewStreamingJob
+	// Streaming-job options.
+	WithMachines     = core.WithMachines
+	WithStreamConfig = core.WithConfig
+	WithOnEvent      = core.WithOnEvent
+	WithCrash        = core.WithCrash
+	WithIntake       = core.WithIntake
+	WithRebalance    = core.WithRebalance
+	// Deprecated: use NewStreamingJob(plan, sources, WithMachines(n), ...).
+	NewStreamingJobLegacy = core.NewStreamingJobLegacy
+)
+
+// Streaming admission errors.
+var (
+	// ErrStreamFlushed is returned by feed paths after Flush.
+	ErrStreamFlushed = core.ErrFlushed
+	// ErrBacklogged is returned by Feeder.TryFeed when the source's
+	// per-wave intake budget is exhausted (the event was not admitted).
+	ErrBacklogged = core.ErrBacklogged
 )
 
 // ---- Behavioral targeting ----
