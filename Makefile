@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate servegate check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate servegate durgate check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,7 @@ fuzzgate:
 	$(GO) test -run '^$$' -fuzz 'FuzzRowCodecRoundtrip' -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz 'FuzzColBlockRoundtrip' -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundtrip' -fuzztime 10s ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz 'FuzzFrameDecode' -fuzztime 10s ./internal/temporal/
 
 # Fusion equivalence under the race detector: every fused/interpreted
 # differential — engine-level (row, columnar, fallback shapes, snapshot
@@ -81,10 +82,18 @@ fusegate:
 servegate:
 	$(GO) test -race -count=1 -run 'TestMigration|TestAutoRebalance|TestServe' ./internal/core/ ./internal/serve/
 
+# Durability under the race detector: the durable checkpoint store's
+# commit protocol and fault injection (torn writes, ENOSPC, bit flips —
+# 30% fault rate across multiple seeds), plus the kill-and-restart
+# drills — core and serving tier — which must recover bit-identically,
+# including through generation fallback after corruption.
+durgate:
+	$(GO) test -race -count=1 -run 'TestDurable|TestFaultFS' ./internal/dur/ ./internal/core/ ./internal/serve/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race chaos spillgate fuzzgate fusegate servegate
+check: vet fmt deprecations race chaos spillgate fuzzgate fusegate servegate durgate
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

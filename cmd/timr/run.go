@@ -24,6 +24,7 @@ import (
 	"timr"
 	"timr/internal/bt"
 	"timr/internal/core"
+	"timr/internal/mapreduce"
 	"timr/internal/temporal"
 	"timr/internal/tsql"
 )
@@ -35,6 +36,7 @@ type runOpts struct {
 	zThresh        float64
 	budget         int64
 	metrics        bool
+	sweepSpill     bool
 }
 
 func runFlags(o *runOpts) *flag.FlagSet {
@@ -50,12 +52,23 @@ func runFlags(o *runOpts) *flag.FlagSet {
 	fs.Float64Var(&o.zThresh, "z", 1.28, "z threshold for bt feature selection")
 	fs.Int64Var(&o.budget, "budget", 0, "memory budget in bytes per reduce partition (0 = unlimited, -1 = spill everything)")
 	fs.BoolVar(&o.metrics, "metrics", false, "print per-stage and per-operator metrics to stderr after the run")
+	fs.BoolVar(&o.sweepSpill, "sweep-spill", false, "before running, remove stale timr-spill-* dirs leaked by killed jobs (unsafe if another timr job is live)")
 	return fs
 }
 
 func runCmd(args []string) {
 	var o runOpts
 	runFlags(&o).Parse(args)
+
+	if o.sweepSpill {
+		removed, err := mapreduce.SweepStaleSpillDirs("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range removed {
+			fmt.Fprintf(os.Stderr, "swept stale spill dir %s\n", d)
+		}
+	}
 
 	rows, err := loadRows(o.in)
 	if err != nil {

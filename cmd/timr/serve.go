@@ -7,6 +7,9 @@ package main
 // events/s per partition. -rebalance turns on live partition migration
 // (split hot workers, merge cold ones); -intake bounds per-wave
 // admission so shed/deferred load becomes visible in the metrics.
+// -durdir makes the run durable: every wave commits a checkpoint
+// generation, and rerunning the same command after a kill -9 resumes
+// from the newest intact generation with bit-identical output.
 
 import (
 	"flag"
@@ -32,6 +35,7 @@ type serveOpts struct {
 	mergeBelow           int
 	intake               int
 	metrics              bool
+	durdir               string
 }
 
 func serveFlags(o *serveOpts) *flag.FlagSet {
@@ -53,6 +57,7 @@ func serveFlags(o *serveOpts) *flag.FlagSet {
 	fs.IntVar(&o.mergeBelow, "merge-below", 0, "rebalance: retire a worker under this many events/wave (0 = default)")
 	fs.IntVar(&o.intake, "intake", 0, "per-source admission budget per wave (0 = unbounded)")
 	fs.BoolVar(&o.metrics, "metrics", false, "print the full metrics table to stderr after the run")
+	fs.StringVar(&o.durdir, "durdir", "", "durable checkpoint directory: commit every wave, resume a killed run on restart")
 	return fs
 }
 
@@ -74,6 +79,7 @@ func serveCmd(args []string) {
 		Rate:     o.rate,
 		Intake:   o.intake,
 		Obs:      scope,
+		DurDir:   o.durdir,
 	}
 	if o.rebalance {
 		cfg.Rebalance = &core.RebalanceConfig{
@@ -96,6 +102,10 @@ func serveCmd(args []string) {
 	rep, _, err := srv.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if rep.Resumed {
+		fmt.Fprintf(os.Stderr, "serve: resumed from durable checkpoints in %s (re-fed %d requests)\n",
+			o.durdir, rep.Requests)
 	}
 	fmt.Println(rep)
 	if rep.Migrations > 0 {

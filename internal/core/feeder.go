@@ -79,7 +79,9 @@ func (f *Feeder) admit(n int64, committed bool) error {
 	if f.budget > 0 && f.used+n > f.budget {
 		if !committed {
 			f.shed.Add(n)
-			return ErrBacklogged
+			// Wrap with the source so multi-source drivers can log which
+			// intake refused; errors.Is(err, ErrBacklogged) still holds.
+			return fmt.Errorf("timr: source %q: %w", f.name, ErrBacklogged)
 		}
 		over := f.used + n - f.budget
 		if over > n {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"timr/internal/obs"
@@ -125,6 +126,23 @@ func TestFeederBackpressure(t *testing.T) {
 	}
 	if err := f.TryFeed(clickEv(101)); err != nil {
 		t.Fatalf("TryFeed after wave reset: %v", err)
+	}
+}
+
+func TestFeederBackloggedWrappedWithSource(t *testing.T) {
+	// Regression: the refusal carries the source name for multi-source
+	// drivers, but must still satisfy errors.Is(err, ErrBacklogged) —
+	// callers branch on the sentinel, not the message.
+	_, f := feederJob(t, WithMachines(2), WithIntake(1))
+	if err := f.TryFeed(clickEv(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := f.TryFeed(clickEv(2))
+	if !errors.Is(err, ErrBacklogged) {
+		t.Fatalf("wrapped refusal lost the sentinel: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"clicks"`) {
+		t.Fatalf("refusal does not name the source: %v", err)
 	}
 }
 

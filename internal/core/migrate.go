@@ -221,6 +221,16 @@ func (st *streamStage) migrate(from, to *streamWorker, shards []int, kind string
 	for _, id := range shards {
 		p := st.parts[id]
 		ckpt := append([]byte(nil), p.ckpt...)
+		if s := st.job.durStore; s != nil && len(p.ckpt) > 0 {
+			// With a durable store attached, the transfer is a genuine
+			// framed, checksummed disk round-trip (with the store's retry
+			// supervisor). Persistent failure falls back to the in-memory
+			// copy — byte-identical, so determinism is unaffected; only the
+			// durability exercise is lost.
+			if moved, err := s.Transfer(st.frag.Name, p.id, p.ckpt); err == nil {
+				ckpt = moved
+			}
+		}
 		p.eng = st.newEngine(p.id)
 		if len(ckpt) > 0 {
 			if err := p.eng.Restore(ckpt); err != nil {

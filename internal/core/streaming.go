@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"timr/internal/dur"
 	"timr/internal/obs"
 	"timr/internal/temporal"
 )
@@ -42,6 +43,15 @@ type StreamingJob struct {
 	migs     []Migration
 	waves    int // completed punctuation waves (crash-draw input)
 	flushed  bool
+
+	// Durable checkpointing (WithDurable): at the end of every wave the
+	// job commits its full recovery state — each partition's checkpoint
+	// and replay log, plus the delivered-output record — as one store
+	// generation. durErr remembers the last commit failure for
+	// inspection; a failed commit never fails the wave (availability over
+	// durability — the previous generation stays the recovery line).
+	durStore *dur.Store
+	durErr   error
 }
 
 // ErrFlushed is returned by Feed, FeedBatch and Advance on a job whose
@@ -78,6 +88,7 @@ type streamOptions struct {
 	crash    *CrashConfig
 	intake   int64
 	rebal    *RebalanceConfig
+	store    *dur.Store
 }
 
 // WithMachines sets the partition fan-out of hash-keyed fragments (the
@@ -111,6 +122,15 @@ func WithCrash(cc CrashConfig) StreamOption {
 // deferred load. Zero (the default) leaves intake unbounded.
 func WithIntake(perWave int) StreamOption {
 	return func(o *streamOptions) { o.intake = int64(perWave) }
+}
+
+// WithDurable attaches a durable checkpoint store: every punctuation
+// wave commits the job's full recovery state as one store generation,
+// and shard migrations route their checkpoint bytes through the store.
+// A job killed between commits restarts via RestoreFromDir and replays
+// forward bit-identically (see internal/dur).
+func WithDurable(store *dur.Store) StreamOption {
+	return func(o *streamOptions) { o.store = store }
 }
 
 // WithRebalance enables the elastic placement policy: at every
@@ -158,6 +178,7 @@ func NewStreamingJob(plan *temporal.Plan, sources map[string]*temporal.Schema, o
 		machines: machines,
 		rebal:    defaultRebalance(o.rebal, machines),
 		autoRbl:  o.rebal != nil,
+		durStore: o.store,
 	}
 	outScope := cfg.Obs.Child("stream.out")
 	j.out = &streamBuffer{
@@ -266,6 +287,9 @@ func (j *StreamingJob) Advance(t temporal.Time) error {
 	}
 	for _, f := range j.feeders {
 		f.resetWave()
+	}
+	if j.durStore != nil {
+		j.commitDurable(t)
 	}
 	return nil
 }

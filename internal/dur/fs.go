@@ -1,0 +1,118 @@
+// Package dur is the durable checkpoint store: it persists a streaming
+// job's per-partition wave checkpoints and replay logs to disk as
+// versioned, resumable generations, so a process killed mid-wave —
+// `kill -9`, no shutdown hook — restarts bit-identically to the
+// in-memory crash-recovery path (internal/core crash()+replay, the PR 4
+// invariant).
+//
+// Three layers:
+//
+//   - FS/File (this file): the I/O seam. Every byte the store reads or
+//     writes goes through this interface, so the deterministic
+//     fault-injecting implementation (faultfs.go) can exercise torn
+//     writes, short reads, bit flips, ENOSPC, and failed rename/fsync
+//     against the exact production code paths.
+//   - Store (store.go): the atomic commit protocol. Each generation is
+//     written as temp file → CRC32-checksummed, length-prefixed frames
+//     (internal/temporal frame.go) → fsync → rename, then a manifest the
+//     same way; a generation exists only once its manifest does. Loads
+//     walk generations newest-first, quarantine anything that fails
+//     validation, and fall back to the previous intact one.
+//   - The retry supervisor (store.go retry): transient I/O faults are
+//     retried with bounded backoff before the store either skips a
+//     commit (the previous generation stays the recovery line) or
+//     declares a generation corrupt.
+package dur
+
+import (
+	"io"
+	"os"
+	"sort"
+)
+
+// FS is the file-system seam the store writes through. Implementations
+// must make Rename atomic with respect to Open (the POSIX rename
+// contract) — that is the property the commit protocol rides on.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// CreateTemp creates a new unique file in dir with a name built from
+	// pattern (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// RemoveAll deletes path and everything under it.
+	RemoveAll(path string) error
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Size returns the byte size of a file.
+	Size(name string) (int64, error)
+}
+
+// File is one open file of an FS: sequential writes while building,
+// random-access reads after sealing, plus the fsync and close that the
+// commit protocol orders explicitly.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's contents to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// OS is the real file system. The zero value is ready to use.
+type OS struct{}
+
+var _ FS = OS{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// RemoveAll implements FS.
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Size implements FS.
+func (OS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timr/internal/dur"
 	"timr/internal/obs"
 	"timr/internal/temporal"
 )
@@ -111,6 +112,11 @@ type Config struct {
 	// SpillDir roots the cluster's spill directory (default: the OS temp
 	// dir). Created lazily on first spill; removed by Cluster.Close.
 	SpillDir string
+	// SpillFS is the file-system seam spill files are created through
+	// (default: the real OS, dur.OS{}). Tests substitute dur.FaultFS to
+	// exercise full disks, torn writes and failed fsyncs against the
+	// production spill paths.
+	SpillFS dur.FS
 }
 
 // DefaultConfig is a 150-machine failure-free cluster, mirroring the
@@ -322,7 +328,7 @@ func (c *Cluster) newSpillFile() (*spillFile, error) {
 		}
 		c.spillDir = dir
 	}
-	sf, err := createSpillFile(c.spillDir, &c.spillAcct)
+	sf, err := createSpillFile(c.Cfg.SpillFS, c.spillDir, &c.spillAcct)
 	if err != nil {
 		return nil, err
 	}

@@ -3,13 +3,14 @@ package mapreduce
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"timr/internal/dur"
 	"timr/internal/temporal"
 )
 
@@ -61,9 +62,10 @@ func (s *spillIO) snapshot() spillCounts {
 type spillFile struct {
 	path string
 	io   *spillIO
+	fs   dur.FS
 
 	mu  sync.Mutex
-	f   *os.File
+	f   dur.File
 	w   *bufio.Writer // non-nil until sealed
 	off int64
 	// enc is reused across columnar block writes (under mu): its
@@ -72,14 +74,21 @@ type spillFile struct {
 	enc temporal.Encoder
 }
 
-func createSpillFile(dir string, acct *spillIO) (*spillFile, error) {
-	f, err := os.CreateTemp(dir, "seg-*.spill")
+// createSpillFile opens a fresh spill file through the given FS seam
+// (dur.OS{} in production; tests substitute a fault-injecting FS to
+// exercise full disks and failed fsyncs against the real spill paths).
+func createSpillFile(fs dur.FS, dir string, acct *spillIO) (*spillFile, error) {
+	if fs == nil {
+		fs = dur.OS{}
+	}
+	f, err := fs.CreateTemp(dir, "seg-*.spill")
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: create spill file: %w", err)
 	}
 	return &spillFile{
 		path: f.Name(),
 		io:   acct,
+		fs:   fs,
 		f:    f,
 		w:    bufio.NewWriterSize(f, 64<<10),
 	}, nil
@@ -136,7 +145,12 @@ func (sf *spillFile) writeColSegment(cb *temporal.ColBatch, sorted bool) (Segmen
 	return Segment{file: sf, off: start, size: size, n: cb.Len(), sorted: sorted, columnar: true}, nil
 }
 
-// seal flushes buffered writes and switches the file to read mode.
+// seal flushes buffered writes, fsyncs the file, and switches it to
+// read mode. The sync matters: a sealed segment may be re-read long
+// after the writing stage finished, and an OS crash in between must not
+// be able to feed a reducer a hole where its shuffle run was. Flush and
+// sync failures are wrapped distinctly so callers can tell a full
+// buffer drain from a storage-layer refusal.
 func (sf *spillFile) seal() error {
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
@@ -144,22 +158,31 @@ func (sf *spillFile) seal() error {
 		if err := sf.w.Flush(); err != nil {
 			return fmt.Errorf("mapreduce: spill flush: %w", err)
 		}
+		if err := sf.f.Sync(); err != nil {
+			return fmt.Errorf("mapreduce: spill sync: %w", err)
+		}
 		sf.w = nil
 	}
 	return nil
 }
 
 // close releases the handle and deletes the file; segments pointing at
-// it become unreadable.
+// it become unreadable. A close failure (the write side's last chance
+// to report an error) and a remove failure are distinct problems —
+// both are surfaced, separately wrapped, rather than the first being
+// folded into the second.
 func (sf *spillFile) close() error {
 	sf.mu.Lock()
 	defer sf.mu.Unlock()
 	sf.w = nil
-	err := sf.f.Close()
-	if rmErr := os.Remove(sf.path); err == nil {
-		err = rmErr
+	var errs []error
+	if err := sf.f.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("mapreduce: spill close: %w", err))
 	}
-	return err
+	if err := sf.fs.Remove(sf.path); err != nil {
+		errs = append(errs, fmt.Errorf("mapreduce: spill remove: %w", err))
+	}
+	return errors.Join(errs...)
 }
 
 // countingReader charges read bytes and wall time to the file's spillIO.
@@ -298,7 +321,7 @@ func (s *Segment) Open() *RowReader { return NewRowReader(*s) }
 // without running a Cluster; production spill goes through the
 // cluster's MemoryBudget machinery.
 func SpillRows(dir string, rows []Row, sorted bool) (Segment, func() error, error) {
-	sf, err := createSpillFile(dir, &spillIO{})
+	sf, err := createSpillFile(dur.OS{}, dir, &spillIO{})
 	if err != nil {
 		return Segment{}, nil, err
 	}

@@ -1,0 +1,38 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SweepStaleSpillDirs removes leftover "timr-spill-*" directories under
+// parent (the OS temp dir when parent is empty) and returns the paths
+// removed. A process killed mid-job — kill -9, OOM — leaks its lazily
+// created spill directory, since Cluster.Close never runs; this is the
+// opt-in startup sweep that reclaims them.
+//
+// Opt-in because it is process-blind: a sweep while another timr job is
+// live on the same SpillDir would delete that job's active spill files.
+// Callers own that exclusion (the timr CLI gates it behind a flag).
+func SweepStaleSpillDirs(parent string) ([]string, error) {
+	if parent == "" {
+		parent = os.TempDir()
+	}
+	matches, err := filepath.Glob(filepath.Join(parent, "timr-spill-*"))
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: sweep spill dirs: %w", err)
+	}
+	var removed []string
+	for _, m := range matches {
+		fi, err := os.Lstat(m)
+		if err != nil || !fi.IsDir() {
+			continue // gone already, or a stray file we did not create
+		}
+		if err := os.RemoveAll(m); err != nil {
+			return removed, fmt.Errorf("mapreduce: sweep spill dirs: %w", err)
+		}
+		removed = append(removed, m)
+	}
+	return removed, nil
+}

@@ -190,6 +190,35 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	if got := h.Quantile(1.0); got != time.Millisecond {
 		t.Fatalf("p100 = %s, want clamp to observed max 1ms", got)
 	}
+
+	// A single observation answers every quantile with itself: the rank
+	// clamps to [1, total] at both ends, so q=0 and q=1 included.
+	single := New("t").Histogram("one")
+	single.Observe(42 * time.Microsecond)
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := single.Quantile(q); got != 42*time.Microsecond {
+			t.Fatalf("single observation: Quantile(%v) = %s, want 42µs", q, got)
+		}
+	}
+
+	// Many observations: q=0 clamps the rank to 1 (the minimum), q=1 to
+	// the observed maximum — never below min, never above max, and never
+	// a bucket midpoint outside the observed range.
+	many := New("t").Histogram("many")
+	for i := 1; i <= 100; i++ {
+		many.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := many.Quantile(0); got != time.Millisecond {
+		t.Fatalf("Quantile(0) = %s, want the observed min 1ms", got)
+	}
+	if got := many.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("Quantile(1) = %s, want the observed max 100ms", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := many.Quantile(q); got < many.Min() || got > many.Max() {
+			t.Fatalf("Quantile(%v) = %s outside observed [%s, %s]", q, got, many.Min(), many.Max())
+		}
+	}
 }
 
 // Quantile reads race-free against concurrent observers, with the same

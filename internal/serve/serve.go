@@ -22,6 +22,7 @@ import (
 
 	"timr/internal/bt"
 	"timr/internal/core"
+	"timr/internal/dur"
 	"timr/internal/obs"
 	"timr/internal/temporal"
 	"timr/internal/workload"
@@ -74,6 +75,16 @@ type Config struct {
 	// Obs receives serving metrics (latency histogram, streaming stage
 	// counters). Defaults to a fresh "serve" scope.
 	Obs *obs.Scope
+
+	// DurDir, when set, makes the serving job durable: every wave commits
+	// a checkpoint generation to this directory (see internal/dur), and a
+	// restarted process resumes from the newest intact generation — Run
+	// detects recovered state and replays the deterministic schedule from
+	// the recovered wave onward, delivering bit-identical output.
+	DurDir string
+	// DurFS overrides the filesystem the durable store writes through
+	// (default the real OS; tests substitute dur.NewFaultFS).
+	DurFS dur.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +126,11 @@ type Report struct {
 	// clicked impressions above unclicked ones on average.
 	MeanScoreClicked   float64
 	MeanScoreUnclicked float64
+
+	// Resumed reports that this run recovered a durable generation and
+	// replayed the schedule from the recovered wave instead of starting
+	// clean. Requests then counts only the re-fed tail of the schedule.
+	Resumed bool
 }
 
 // Server is a prepared serving tier: trained models plus the dataset
@@ -185,8 +201,24 @@ type timedReq struct {
 // Run drives one serving session and returns its report plus the
 // coalesced score events (for differential tests: the delivered scores
 // are deterministic in the dataset and load config, whatever the
-// pacing, placement, or chaos).
+// pacing, placement, or chaos). With DurDir set, Run is also the
+// restart path: if the directory holds a committed generation from an
+// earlier (killed) process, the job resumes from it.
 func (s *Server) Run() (*Report, []temporal.Event, error) {
+	return s.run(-1)
+}
+
+// RunKilled processes only the first `after` schedule entries and then
+// returns without flushing or collecting results — the restart drill's
+// stand-in for kill -9 mid-run. Only the durable store's committed
+// generations survive; a subsequent Run on the same DurDir resumes from
+// them.
+func (s *Server) RunKilled(after int) (*Report, error) {
+	rep, _, err := s.run(after)
+	return rep, err
+}
+
+func (s *Server) run(killAfter int) (*Report, []temporal.Event, error) {
 	cfg := s.cfg
 	lat := cfg.Obs.Histogram("latency")
 
@@ -228,10 +260,23 @@ func (s *Server) Run() (*Report, []temporal.Event, error) {
 	if cfg.Intake > 0 {
 		opts = append(opts, core.WithIntake(cfg.Intake))
 	}
-	job, err := core.NewStreamingJob(bt.ScorePlan(s.params, true), map[string]*temporal.Schema{
+	plan := bt.ScorePlan(s.params, true)
+	schemas := map[string]*temporal.Schema{
 		bt.SourceReduced: bt.TrainSchema,
 		bt.SourceModels:  bt.ModelSchema,
-	}, opts...)
+	}
+	var job *core.StreamingJob
+	var rec *dur.Recovery
+	var err error
+	if cfg.DurDir != "" {
+		store, oerr := dur.OpenStore(cfg.DurDir, dur.Options{FS: cfg.DurFS, Obs: cfg.Obs.Child("dur")})
+		if oerr != nil {
+			return nil, nil, oerr
+		}
+		job, rec, err = core.RestoreFromDir(plan, schemas, store, opts...)
+	} else {
+		job, err = core.NewStreamingJob(plan, schemas, opts...)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,13 +284,17 @@ func (s *Server) Run() (*Report, []temporal.Event, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	modelSrc, err := job.Source(bt.SourceModels)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Lodge the models in the join's right synopsis before any wave.
-	if err := modelSrc.FeedBatch(s.models); err != nil {
-		return nil, nil, err
+	if rec == nil {
+		// Lodge the models in the join's right synopsis before any wave.
+		// A resumed job skips this: the recovered checkpoints carry the
+		// synopsis, models included, and re-feeding would duplicate them.
+		modelSrc, err := job.Source(bt.SourceModels)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := modelSrc.FeedBatch(s.models); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	gen := workload.NewLoadGen(s.data, cfg.Load)
@@ -286,36 +335,79 @@ func (s *Server) Run() (*Report, []temporal.Event, error) {
 
 	start := time.Now()
 	lastWave := cfg.Load.Start
-	advance := func(t temporal.Time) error {
-		if t-lastWave < cfg.WaveEvery {
-			return nil
+
+	// On resume the schedule is walked from its deterministic beginning,
+	// tracking the same wave-fire points as the original run but feeding
+	// nothing, until the fire at (or, after a generation fallback, past)
+	// the recovered wave. That fire is not re-issued — the recovered
+	// state already includes it — and ingestion restarts with the request
+	// that triggered it, exactly the tail the dead process never durably
+	// committed.
+	var recWave temporal.Time
+	skipping := false
+	if rec != nil {
+		recWave = rec.Snap.Wave
+		skipping = true
+		rep.Resumed = true
+	}
+
+	processed, killed := 0, false
+	step := func(tr timedReq) error {
+		if t := tr.req.Time; t-lastWave >= cfg.WaveEvery {
+			lastWave = t
+			if skipping {
+				if t >= recWave {
+					skipping = false
+				}
+			} else if err := job.Advance(t); err != nil {
+				return err
+			}
 		}
-		lastWave = t
-		return job.Advance(t)
+		if !skipping {
+			if err := ingest(tr); err != nil {
+				return err
+			}
+		}
+		processed++
+		return nil
 	}
 	var feedErr error
 	if intake != nil {
 		for tr := range intake {
-			if feedErr = advance(tr.req.Time); feedErr != nil {
+			if feedErr = step(tr); feedErr != nil {
 				break
 			}
-			if feedErr = ingest(tr); feedErr != nil {
+			if killAfter >= 0 && processed >= killAfter {
+				killed = true
 				break
 			}
 		}
+		if killed {
+			// Unblock the paced generator so it can run to completion.
+			go func() {
+				for range intake {
+				}
+			}()
+		}
 	} else {
 		for i := 0; i < cfg.Requests; i++ {
-			req := gen.Next()
-			if feedErr = advance(req.Time); feedErr != nil {
+			if feedErr = step(timedReq{req: gen.Next(), sched: time.Now()}); feedErr != nil {
 				break
 			}
-			if feedErr = ingest(timedReq{req: req, sched: time.Now()}); feedErr != nil {
+			if killAfter >= 0 && processed >= killAfter {
+				killed = true
 				break
 			}
 		}
 	}
 	if feedErr != nil {
 		return nil, nil, feedErr
+	}
+	if killed {
+		// kill -9: no flush, no graceful teardown. Whatever the durable
+		// store committed is all the next process gets.
+		rep.Duration = time.Since(start)
+		return rep, nil, nil
 	}
 	job.Flush()
 	rep.Duration = time.Since(start)
