@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate servegate durgate check bench bench-json
+.PHONY: build test race vet fmt deprecations chaos spillgate fuzzgate fusegate servegate durgate incgate check bench bench-json
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,7 @@ fuzzgate:
 	$(GO) test -run '^$$' -fuzz 'FuzzColBlockRoundtrip' -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundtrip' -fuzztime 10s ./internal/temporal/
 	$(GO) test -run '^$$' -fuzz 'FuzzFrameDecode' -fuzztime 10s ./internal/temporal/
+	$(GO) test -run '^$$' -fuzz 'FuzzSummaryRoundtrip' -fuzztime 10s ./internal/bt/
 
 # Fusion equivalence under the race detector: every fused/interpreted
 # differential — engine-level (row, columnar, fallback shapes, snapshot
@@ -90,16 +91,24 @@ servegate:
 durgate:
 	$(GO) test -race -count=1 -run 'TestDurable|TestFaultFS' ./internal/dur/ ./internal/core/ ./internal/serve/
 
+# Incremental-refresh equivalence under the race detector: the 7-day
+# sliding-window drill (delta ingest byte-identical to full recompute
+# every day), the engine-pipeline pinning of the mergeable summaries,
+# the kill-and-restart resume through a >=30%-fault-rate store with
+# quarantine fallback, and the warm-start parity gate.
+incgate:
+	$(GO) test -race -count=1 -run 'TestRefresh' ./internal/bt/
+
 # The full pre-merge gate. Perf changes should additionally refresh the
 # tracked benchmark snapshot via `make bench-json` (not part of check:
 # benchmark timings are host-dependent and would make the gate flaky).
-check: vet fmt deprecations race chaos spillgate fuzzgate fusegate servegate durgate
+check: vet fmt deprecations race chaos spillgate fuzzgate fusegate servegate durgate incgate
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
 # Headline benchmarks (shuffle, Fig. 15/16, engine feed path, serving
-# tier) as machine-readable JSON — the perf trajectory file compared
-# across PRs.
+# tier, refresh delta-vs-full) as machine-readable JSON — the perf
+# trajectory file compared across PRs.
 bench-json:
-	$(GO) run ./cmd/timr bench-json -out BENCH_pr8.json
+	$(GO) run ./cmd/timr bench-json -out BENCH_pr10.json

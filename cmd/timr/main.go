@@ -5,6 +5,9 @@
 //	timr serve      long-running elastic serving tier: score arriving ad
 //	                events against the trained BT model under an
 //	                open-loop Zipf load, with live partition migration
+//	timr refresh    incremental BT maintenance: ingest the log one day at
+//	                a time, merging summaries instead of recomputing, and
+//	                resume a killed run from its durable state
 //	timr bench-json run the headline benchmarks and write the perf
 //	                trajectory JSON
 //
@@ -15,7 +18,8 @@
 //	timr run -sql "SELECT AdId, COUNT(*) AS C FROM events WHERE StreamId = 1
 //	               GROUP BY AdId WINDOW 6h" [-in events.tsv]
 //	timr serve [-requests N] [-rate R] [-machines N] [-rebalance] [-metrics]
-//	timr bench-json [-out BENCH_pr8.json]
+//	timr refresh [-days N] [-mode auto|full|delta] [-warm] [-durdir DIR]
+//	timr bench-json [-out BENCH_pr10.json]
 //
 // Bare `timr [flags]` (no subcommand) is the deprecated legacy spelling
 // of `timr run` and keeps working with a note on stderr.
@@ -38,6 +42,9 @@ func main() {
 		case "serve":
 			serveCmd(args[1:])
 			return
+		case "refresh":
+			refreshCmd(args[1:])
+			return
 		case "bench-json":
 			if err := benchjson.RunCLI(args[1:]); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -45,10 +52,12 @@ func main() {
 			}
 			return
 		case "help", "-h", "-help", "--help":
-			fmt.Fprintln(os.Stderr, "usage: timr <run|serve|bench-json> [flags]\n\nrun flags:")
+			fmt.Fprintln(os.Stderr, "usage: timr <run|serve|refresh|bench-json> [flags]\n\nrun flags:")
 			runFlags(nil).PrintDefaults()
 			fmt.Fprintln(os.Stderr, "\nserve flags:")
 			serveFlags(nil).PrintDefaults()
+			fmt.Fprintln(os.Stderr, "\nrefresh flags:")
+			refreshFlags(nil).PrintDefaults()
 			return
 		}
 	}

@@ -1,5 +1,6 @@
 // Package benchjson runs the repo's headline benchmarks (shuffle,
-// spill, Fig. 15, Fig. 16, the engine feed path, the serving tier) and
+// spill, Fig. 15, Fig. 16, the engine feed path, the serving tier, the
+// incremental-refresh delta-vs-full pair) and
 // writes the results as machine-readable JSON — the perf trajectory
 // file tracked across PRs. It shells out to `go test -bench` (stdlib
 // only, no benchstat dependency) and parses the standard benchmark
@@ -72,7 +73,7 @@ type Run struct {
 // command name.
 func RunCLI(args []string) error {
 	fs := flag.NewFlagSet("bench-json", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_pr8.json", "output JSON file")
+	out := fs.String("out", "BENCH_pr10.json", "output JSON file")
 	pattern := fs.String("bench", "Shuffle_1M|Spill_1M|FlattenResident|MergeRuns|MergeStableSort|Fig15|Fig16", "benchmark regexp")
 	benchtime := fs.String("benchtime", "3x", "go test -benchtime value")
 	feedtime := fs.String("feedbenchtime", "20x", "benchtime for the EngineFeed pair")
@@ -90,6 +91,9 @@ func RunCLI(args []string) error {
 		{".", "EngineFeed", *feedtime},
 		// The serving tier: open-loop scoring latency and throughput.
 		{"./internal/serve", "ServeOpenLoop", *servetime},
+		// Incremental refresh: day 7 of the sliding window as a delta vs
+		// a full recompute of the whole history.
+		{"./internal/bt", "Refresh_", "3x"},
 	}
 	var results []Result
 	for _, r := range runs {

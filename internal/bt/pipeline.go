@@ -20,7 +20,71 @@ const (
 	DSPredictions = "bt.predictions"
 )
 
-// PhaseResult records one phase's execution.
+// StageSpec is one node of the BT pipeline DAG: a named temporal query
+// reading one or more upstream datasets and producing one. The same
+// specs drive the TiMR batch pipeline (Run), the single-node reference
+// (RunSingleNode), and the incremental refresher (internal/bt/refresh),
+// which recomputes the FrontStages prefix over a sliding window and
+// maintains the back stages from mergeable summaries instead.
+type StageSpec struct {
+	Name   string
+	Output string
+
+	// Inputs maps each of the stage plan's scan sources to the dataset
+	// holding it. The raw-events source maps to DSEvents, bound to the
+	// caller-provided dataset at run time.
+	Inputs map[string]string
+
+	// Plan builds the stage's temporal query; annotate adds the paper's
+	// partitioning annotations for cluster execution.
+	Plan func(p Params, annotate bool) *temporal.Plan
+}
+
+// DSEvents is the sentinel input dataset of the DAG's root stage,
+// rebound to the concrete events dataset by each runner.
+const DSEvents = "bt.events"
+
+// Stages returns the pipeline DAG (paper Figure 10) in topological
+// order. naive switches TrainData to the strawman {UserId, Keyword}
+// annotation of Example 3 (used by the fragment-optimization
+// experiment).
+func Stages(naive bool) []StageSpec {
+	trainPlan := TrainDataPlan
+	if naive {
+		trainPlan = func(p Params, annotate bool) *temporal.Plan { return NaiveTrainDataPlan(p) }
+	}
+	return []StageSpec{
+		{Name: "BotElim", Output: DSClean,
+			Inputs: map[string]string{SourceEvents: DSEvents}, Plan: BotElimPlan},
+		{Name: "Label", Output: DSLabeled,
+			Inputs: map[string]string{SourceClean: DSClean}, Plan: LabelPlan},
+		{Name: "TrainData", Output: DSTrain,
+			Inputs: map[string]string{SourceLabeled: DSLabeled, SourceClean: DSClean}, Plan: trainPlan},
+		{Name: "FeatureSelect", Output: DSScores,
+			Inputs: map[string]string{SourceLabeled: DSLabeled, SourceTrain: DSTrain}, Plan: FeatureSelectPlan},
+		{Name: "Reduce", Output: DSReduced,
+			Inputs: map[string]string{SourceTrain: DSTrain, SourceScores: DSScores}, Plan: ReducePlan},
+		{Name: "Model", Output: DSModels,
+			Inputs: map[string]string{SourceReduced: DSReduced}, Plan: ModelPlan},
+		// Scoring closes the M3 loop: each period's impressions are
+		// scored by the model learned from the previous period (a row at
+		// time t joins the model valid at t).
+		{Name: "Score", Output: DSPredictions,
+			Inputs: map[string]string{SourceReduced: DSReduced, SourceModels: DSModels}, Plan: ScorePlan},
+	}
+}
+
+// FrontStages is the DAG prefix computed directly from raw events —
+// BotElim, Label, TrainData. These are the stages whose operators reach
+// backward (bot windows, UBPs) and forward (non-click detection) in
+// time, so the incremental refresher recomputes them over a bounded
+// sliding window; every later stage is maintained from mergeable
+// summaries of their finalized output instead.
+func FrontStages(naive bool) []StageSpec {
+	return Stages(naive)[:3]
+}
+
+// PhaseResult records one stage's execution.
 type PhaseResult struct {
 	Name     string
 	Output   string
@@ -35,8 +99,8 @@ type PhaseResult struct {
 }
 
 // Pipeline runs the end-to-end BT solution (paper Figure 10) as a chain
-// of TiMR jobs, one per phase, each a handful of declarative temporal
-// queries.
+// of TiMR jobs, one per DAG stage, each a handful of declarative
+// temporal queries.
 type Pipeline struct {
 	P Params
 	T *core.TiMR
@@ -52,48 +116,33 @@ func NewPipeline(p Params, t *core.TiMR) *Pipeline {
 	return &Pipeline{P: p, T: t}
 }
 
-// Run executes every phase over the events dataset already in the FS.
+// Run executes every DAG stage over the events dataset already in the FS.
 func (pl *Pipeline) Run(eventsDataset string) error {
-	type phase struct {
-		name    string
-		plan    *temporal.Plan
-		sources map[string]string
-		output  string
-	}
-	trainPlan := TrainDataPlan(pl.P, true)
-	if pl.Naive {
-		trainPlan = NaiveTrainDataPlan(pl.P)
-	}
-	phases := []phase{
-		{"BotElim", BotElimPlan(pl.P, true), map[string]string{SourceEvents: eventsDataset}, DSClean},
-		{"Label", LabelPlan(pl.P, true), map[string]string{SourceClean: DSClean}, DSLabeled},
-		{"TrainData", trainPlan, map[string]string{SourceLabeled: DSLabeled, SourceClean: DSClean}, DSTrain},
-		{"FeatureSelect", FeatureSelectPlan(pl.P, true), map[string]string{SourceLabeled: DSLabeled, SourceTrain: DSTrain}, DSScores},
-		{"Reduce", ReducePlan(pl.P, true), map[string]string{SourceTrain: DSTrain, SourceScores: DSScores}, DSReduced},
-		{"Model", ModelPlan(pl.P, true), map[string]string{SourceReduced: DSReduced}, DSModels},
-		// Scoring closes the M3 loop: each period's impressions are
-		// scored by the model learned from the previous period (a row at
-		// time t joins the model valid at t).
-		{"Score", ScorePlan(pl.P, true), map[string]string{SourceReduced: DSReduced, SourceModels: DSModels}, DSPredictions},
-	}
 	pl.Phases = pl.Phases[:0]
-	for _, ph := range phases {
-		start := time.Now()
-		stat, err := pl.T.Run(ph.plan, ph.sources, ph.output)
-		if err != nil {
-			return fmt.Errorf("bt: phase %s: %w", ph.name, err)
+	for _, st := range Stages(pl.Naive) {
+		sources := make(map[string]string, len(st.Inputs))
+		for src, ds := range st.Inputs {
+			if ds == DSEvents {
+				ds = eventsDataset
+			}
+			sources[src] = ds
 		}
-		ds, err := pl.T.Cluster.FS.Read(ph.output)
+		start := time.Now()
+		stat, err := pl.T.Run(st.Plan(pl.P, true), sources, st.Output)
 		if err != nil {
-			return fmt.Errorf("bt: phase %s output: %w", ph.name, err)
+			return fmt.Errorf("bt: phase %s: %w", st.Name, err)
+		}
+		ds, err := pl.T.Cluster.FS.Read(st.Output)
+		if err != nil {
+			return fmt.Errorf("bt: phase %s output: %w", st.Name, err)
 		}
 		res := PhaseResult{
-			Name: ph.name, Output: ph.output, Rows: ds.Rows(),
+			Name: st.Name, Output: st.Output, Rows: ds.Rows(),
 			Stat: stat, Duration: time.Since(start),
 		}
-		for _, st := range stat.Stages {
-			res.SpillSegments += st.SpillSegments
-			res.SpillBytes += st.SpillBytes
+		for _, s := range stat.Stages {
+			res.SpillSegments += s.SpillSegments
+			res.SpillBytes += s.SpillBytes
 		}
 		pl.Phases = append(pl.Phases, res)
 	}
@@ -105,57 +154,35 @@ func (pl *Pipeline) Events(dataset string) ([]temporal.Event, error) {
 	return pl.T.ResultEvents(dataset)
 }
 
-// RunSingleNode executes the same phases on one embedded engine, feeding
-// each phase's output events to the next — the configuration a real-time
+// RunStagesSingleNode executes a slice of DAG stages on one embedded
+// engine, reading and writing the datasets map (the raw-events input is
+// datasets[DSEvents]). Outputs are added in place, so callers can run a
+// prefix, inspect it, and continue.
+func RunStagesSingleNode(p Params, stages []StageSpec, datasets map[string][]temporal.Event) error {
+	for _, st := range stages {
+		inputs := make(map[string][]temporal.Event, len(st.Inputs))
+		for src, ds := range st.Inputs {
+			inputs[src] = datasets[ds]
+		}
+		evs, err := temporal.RunPlan(st.Plan(p, false), inputs)
+		if err != nil {
+			return fmt.Errorf("bt: single-node %s: %w", st.Name, err)
+		}
+		datasets[st.Output] = evs
+	}
+	return nil
+}
+
+// RunSingleNode executes the whole DAG on one embedded engine, feeding
+// each stage's output events to the next — the configuration a real-time
 // deployment would use, and the reference the TiMR tests compare against.
-// It returns the coalesced output events of every phase keyed by dataset
+// It returns the coalesced output events of every stage keyed by dataset
 // name.
 func RunSingleNode(p Params, events []temporal.Event) (map[string][]temporal.Event, error) {
-	out := make(map[string][]temporal.Event)
-	run := func(plan *temporal.Plan, inputs map[string][]temporal.Event, name string) ([]temporal.Event, error) {
-		evs, err := temporal.RunPlan(plan, inputs)
-		if err != nil {
-			return nil, fmt.Errorf("bt: single-node %s: %w", name, err)
-		}
-		out[name] = evs
-		return evs, nil
-	}
-	clean, err := run(BotElimPlan(p, false), map[string][]temporal.Event{SourceEvents: events}, DSClean)
-	if err != nil {
+	out := map[string][]temporal.Event{DSEvents: events}
+	if err := RunStagesSingleNode(p, Stages(false), out); err != nil {
 		return nil, err
 	}
-	labeled, err := run(LabelPlan(p, false), map[string][]temporal.Event{SourceClean: clean}, DSLabeled)
-	if err != nil {
-		return nil, err
-	}
-	train, err := run(TrainDataPlan(p, false), map[string][]temporal.Event{
-		SourceLabeled: labeled, SourceClean: clean,
-	}, DSTrain)
-	if err != nil {
-		return nil, err
-	}
-	scores, err := run(FeatureSelectPlan(p, false), map[string][]temporal.Event{
-		SourceLabeled: labeled, SourceTrain: train,
-	}, DSScores)
-	if err != nil {
-		return nil, err
-	}
-	reduced, err := run(ReducePlan(p, false), map[string][]temporal.Event{
-		SourceTrain: train, SourceScores: scores,
-	}, DSReduced)
-	if err != nil {
-		return nil, err
-	}
-	models, err := run(ModelPlan(p, false), map[string][]temporal.Event{
-		SourceReduced: reduced,
-	}, DSModels)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := run(ScorePlan(p, false), map[string][]temporal.Event{
-		SourceReduced: reduced, SourceModels: models,
-	}, DSPredictions); err != nil {
-		return nil, err
-	}
+	delete(out, DSEvents)
 	return out, nil
 }

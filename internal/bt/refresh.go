@@ -1,0 +1,437 @@
+package bt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"timr/internal/core"
+	"timr/internal/dur"
+	"timr/internal/ml"
+	"timr/internal/temporal"
+	"timr/internal/workload"
+)
+
+// Incremental BT refresh (the sliding-window deployment of §IV): the
+// pipeline ingests one day of raw log at a time instead of recomputing
+// the whole history. The DAG's front stages (FrontStages) reach a
+// bounded distance backward and forward in time, so each ingest
+// recomputes them over a window of raw history — Lookback(P) behind the
+// previous watermark through the new day's end — and finalizes exactly
+// the output rows whose Time falls between the old and new watermarks
+// (F = dayEnd − D: a row earlier than F can never change, because the
+// only forward reach is the non-click detector's d). Everything behind
+// the watermark is maintained as mergeable summaries: click counts add,
+// z-tests replay exactly on the merged counts, reduced training rows
+// concatenate, and frozen-window models are trained once and reused.
+//
+// Whether an ingest runs the delta path or a full recompute is a cost
+// decision (core.Optimizer.PlanRefresh), calibrated from the previous
+// ingests' recorded stage timings. Both paths land in byte-identical
+// state (RefreshState.SummaryBytes), which the incgate drill asserts
+// daily under injected storage faults.
+
+// RefreshMode overrides the cost chooser.
+type RefreshMode int
+
+const (
+	ModeAuto  RefreshMode = iota // chooser decides
+	ModeFull                     // always recompute from full history
+	ModeDelta                    // always apply the day's delta
+)
+
+// RefreshOptions configure a Refresher.
+type RefreshOptions struct {
+	Mode RefreshMode
+
+	// RetainHistory keeps every ingested raw row in memory so the full
+	// path stays available; without it the chooser is forced onto the
+	// delta path (the refresher only retains Lookback history).
+	RetainHistory bool
+
+	// AllowWarmStart lets the chooser initialize a partial window's
+	// retrain from the previous ingest's model for that window, with
+	// WarmEpochs passes instead of ModelEpochs. The result is kept only
+	// if its lift-curve area stays within WarmTolerance of the window's
+	// previously recorded area; otherwise the exact retrain runs.
+	AllowWarmStart bool
+	WarmEpochs     int     // default max(3, ModelEpochs/3)
+	WarmTolerance  float64 // default 0.05
+
+	// Opt prices full vs delta (nil: core.DefaultStats).
+	Opt *core.Optimizer
+
+	// Store persists one generation per ingest (nil: in-memory only).
+	Store *dur.Store
+}
+
+// Refresher maintains RefreshState across daily ingests.
+type Refresher struct {
+	State *RefreshState
+	Opts  RefreshOptions
+
+	// Choices holds the chooser's verdicts from the newest ingest, and
+	// LastDelta whether it ran the delta path.
+	Choices   []core.RefreshChoice
+	LastDelta bool
+
+	// DurErr is the newest persistence error (nil after a successful
+	// commit). Commit failure does not fail the ingest — the previous
+	// generation remains a correct, older recovery line.
+	DurErr error
+
+	// WarmStarts counts partial-window retrains that kept the warm
+	// model; WarmRejects counts warm attempts that failed the parity
+	// gate and fell back to the exact retrain.
+	WarmStarts  int
+	WarmRejects int
+
+	history []temporal.Row // full raw log, kept only with RetainHistory
+}
+
+// NewRefresher builds a refresher with empty state.
+func NewRefresher(p Params, cfg workload.Config, opts RefreshOptions) *Refresher {
+	if opts.Opt == nil {
+		opts.Opt = core.NewOptimizer(core.DefaultStats())
+	}
+	if opts.WarmEpochs <= 0 {
+		opts.WarmEpochs = p.ModelEpochs / 3
+		if opts.WarmEpochs < 3 {
+			opts.WarmEpochs = 3
+		}
+	}
+	if opts.WarmTolerance <= 0 {
+		opts.WarmTolerance = 0.05
+	}
+	return &Refresher{State: NewRefreshState(p, cfg), Opts: opts}
+}
+
+// Restore loads the newest intact persisted generation from the
+// configured store, replacing the in-memory state. Returns false when
+// the store holds none (the refresher starts empty). Raw history is not
+// persisted beyond the lookback tail, so a restored refresher runs
+// delta-only until RetainHistory re-accumulates.
+func (r *Refresher) Restore() (bool, error) {
+	if r.Opts.Store == nil {
+		return false, fmt.Errorf("bt: refresher has no store to restore from")
+	}
+	rec, err := r.Opts.Store.LoadState()
+	if err != nil || rec == nil {
+		return false, err
+	}
+	st, err := DecodeState(rec.Payload)
+	if err != nil {
+		return false, err
+	}
+	if int64(st.Watermark) != int64(rec.Wave) || st.Days != rec.Waves {
+		return false, fmt.Errorf("bt: refresh state disagrees with generation header (wave %d/%d, days %d/%d)",
+			st.Watermark, rec.Wave, st.Days, rec.Waves)
+	}
+	r.State = st
+	r.history = nil
+	return true, nil
+}
+
+// IngestDay advances the refresher by one day of raw log rows (Time-
+// sorted, all within [previous dayEnd, dayEnd)). The chooser picks full
+// vs delta unless the mode forces one; both paths finalize rows up to
+// the new watermark dayEnd − D and leave byte-identical SummaryBytes.
+func (r *Refresher) IngestDay(dayRows []temporal.Row, dayEnd temporal.Time) error {
+	st := r.State
+	if newF := dayEnd - st.P.D; newF <= st.Watermark && st.Days > 0 {
+		return fmt.Errorf("bt: refresh ingest does not advance the watermark (%d -> %d)", st.Watermark, newF)
+	}
+
+	r.Choices = r.planChoices(int64(len(dayRows)))
+	delta := core.ChooseDelta(r.Choices)
+	switch r.Opts.Mode {
+	case ModeFull:
+		delta = false
+	case ModeDelta:
+		delta = true
+	}
+	if !delta && !r.Opts.RetainHistory {
+		if r.Opts.Mode == ModeFull {
+			return fmt.Errorf("bt: ModeFull requires RetainHistory")
+		}
+		delta = true
+	}
+
+	var err error
+	if delta {
+		err = r.ingestDelta(dayRows, dayEnd)
+	} else {
+		all := make([]temporal.Row, 0, len(r.history)+len(dayRows))
+		all = append(all, r.history...)
+		all = append(all, dayRows...)
+		err = r.fullRecompute(all, dayEnd)
+	}
+	if err != nil {
+		return err
+	}
+	r.LastDelta = delta
+	if r.Opts.RetainHistory {
+		r.history = append(r.history, dayRows...)
+	}
+	return r.persist()
+}
+
+func (r *Refresher) persist() error {
+	r.DurErr = nil
+	if r.Opts.Store == nil {
+		return nil
+	}
+	payload, err := EncodeState(r.State)
+	if err != nil {
+		return err
+	}
+	r.DurErr = r.Opts.Store.CommitState(r.State.Watermark, r.State.Days, payload)
+	return nil
+}
+
+// planChoices builds the chooser's stage descriptions from the current
+// state and prices them.
+func (r *Refresher) planChoices(dayRows int64) []core.RefreshChoice {
+	st := r.State
+	tail := int64(len(st.TailRaw))
+	finalized := int64(len(st.Labeled) + len(st.Train))
+	newPerDay := finalized + dayRows // day-1 guess: front output ~ input
+	if st.Days > 0 {
+		newPerDay = finalized/int64(st.Days) + 1
+	}
+	mergeUnits := int64(len(st.Counts.Totals) + len(st.Counts.PerKw))
+	var partialRows int64
+	frozenCut := int64(st.Watermark)
+	for _, row := range st.Train {
+		if w := Window(temporal.Time(row[0].AsInt()), st.P.TrainPeriod); (w+1)*int64(st.P.TrainPeriod) > frozenCut {
+			partialRows++
+		}
+	}
+	stages := []core.RefreshStage{
+		{
+			Name:     "Front",
+			FullRows: st.RawRows + dayRows, DeltaRows: tail + dayRows,
+			Observed: st.Observation("Front"), Factor: 4.0,
+			ForceDelta: !r.Opts.RetainHistory,
+		},
+		{
+			Name:     "Counts",
+			FullRows: finalized + newPerDay, DeltaRows: newPerDay,
+			MergeUnits: mergeUnits,
+			Observed:   st.Observation("Counts"), Factor: 0.2,
+		},
+		{
+			Name:     "Model",
+			FullRows: finalized/2 + newPerDay, DeltaRows: partialRows + newPerDay,
+			Observed: st.Observation("Model"), Factor: 5.0,
+		},
+	}
+	return r.Opts.Opt.PlanRefresh(stages)
+}
+
+// rowLess is the canonical row order: column-wise integer compare, Time
+// (column 0) first. Both refresh paths sort finalized rows with it, so
+// equal row sets serialize identically.
+func rowLess(a, b temporal.Row) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		av, bv := a[i].AsInt(), b[i].AsInt()
+		if av != bv {
+			return av < bv
+		}
+	}
+	return len(a) < len(b)
+}
+
+func sortRows(rows []temporal.Row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rowLess(rows[i], rows[j]) })
+}
+
+// eventRows flattens plan output events to their payload rows.
+func eventRows(evs []temporal.Event) []temporal.Row {
+	rows := make([]temporal.Row, 0, len(evs))
+	for _, e := range evs {
+		rows = append(rows, e.Payload)
+	}
+	return rows
+}
+
+// rowsInRange keeps rows with lo <= Time < hi.
+func rowsInRange(rows []temporal.Row, lo, hi temporal.Time) []temporal.Row {
+	var out []temporal.Row
+	for _, row := range rows {
+		if t := temporal.Time(row[0].AsInt()); t >= lo && t < hi {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// runFront executes the front stages single-node over a raw-row window,
+// recording one aggregate timing observation, and returns the labeled
+// and train output rows.
+func (r *Refresher) runFront(st *RefreshState, input []temporal.Row) (labeled, train []temporal.Row, err error) {
+	ds := map[string][]temporal.Event{DSEvents: temporal.RowsToPointEvents(input, 0)}
+	start := time.Now()
+	if err := RunStagesSingleNode(st.P, FrontStages(false), ds); err != nil {
+		return nil, nil, err
+	}
+	st.RecordTiming("Front", int64(len(input)), time.Since(start).Nanoseconds())
+	return eventRows(ds[DSLabeled]), eventRows(ds[DSTrain]), nil
+}
+
+// finalize folds newly-owned front-stage rows (watermark interval
+// [lo, hi)) into the state: rows append in canonical order, counts
+// merge.
+func (st *RefreshState) finalize(labeled, train []temporal.Row, lo, hi temporal.Time) {
+	start := time.Now()
+	newLabeled := rowsInRange(labeled, lo, hi)
+	newTrain := rowsInRange(train, lo, hi)
+	sortRows(newLabeled)
+	sortRows(newTrain)
+	st.Labeled = append(st.Labeled, newLabeled...)
+	st.Train = append(st.Train, newTrain...)
+	st.Counts.AddLabeled(newLabeled, st.P.TrainPeriod)
+	st.Counts.AddTrain(newTrain, st.P.TrainPeriod)
+	st.RecordTiming("Counts", int64(len(newLabeled)+len(newTrain)), time.Since(start).Nanoseconds())
+}
+
+// ingestDelta is the incremental path: recompute the front stages over
+// the retained tail plus the new day, finalize the watermark interval,
+// merge summaries, and retrain only non-frozen windows.
+func (r *Refresher) ingestDelta(dayRows []temporal.Row, dayEnd temporal.Time) error {
+	st := r.State
+	fPrev, fNew := st.Watermark, dayEnd-st.P.D
+	input := make([]temporal.Row, 0, len(st.TailRaw)+len(dayRows))
+	input = append(input, st.TailRaw...)
+	input = append(input, dayRows...)
+
+	labeled, train, err := r.runFront(st, input)
+	if err != nil {
+		return err
+	}
+	st.finalize(labeled, train, fPrev, fNew)
+
+	keep := fNew - Lookback(st.P)
+	tail := rowsInRange(input, keep, temporal.Time(math.MaxInt64))
+	st.TailRaw = append([]temporal.Row(nil), tail...)
+	st.Watermark = fNew
+	st.Days++
+	st.RawRows += int64(len(dayRows))
+	r.rebuildModels(st.Models)
+	return nil
+}
+
+// fullRecompute rebuilds the whole state from complete raw history —
+// the reference the delta path must match byte-for-byte.
+func (r *Refresher) fullRecompute(allRaw []temporal.Row, dayEnd temporal.Time) error {
+	old := r.State
+	ns := NewRefreshState(old.P, old.Cfg)
+	ns.Timings = old.Timings
+	fNew := dayEnd - ns.P.D
+
+	labeled, train, err := r.runFront(ns, allRaw)
+	if err != nil {
+		return err
+	}
+	ns.finalize(labeled, train, 0, fNew)
+	ns.TailRaw = append([]temporal.Row(nil), rowsInRange(allRaw, fNew-Lookback(ns.P), temporal.Time(math.MaxInt64))...)
+	ns.Watermark = fNew
+	ns.Days = old.Days + 1
+	ns.RawRows = int64(len(allRaw))
+	r.State = ns
+	r.rebuildModels(nil) // no cache: every window trains from scratch
+	return nil
+}
+
+type winAd struct{ win, ad int64 }
+
+// rebuildModels recomputes the model cache from the finalized training
+// rows: frozen windows reuse their cached model verbatim (their inputs
+// can never change), non-frozen windows retrain — exactly, or warm-
+// started behind the parity gate.
+func (r *Refresher) rebuildModels(prev []WindowModel) {
+	st := r.State
+	start := time.Now()
+	selected := st.Counts.SelectFeatures(st.P)
+	reduced := ReduceRows(st.Train, selected, st.P.TrainPeriod)
+
+	groups := make(map[winAd][]temporal.Row)
+	for _, row := range reduced {
+		k := winAd{Window(temporal.Time(row[0].AsInt()), st.P.TrainPeriod), row[2].AsInt()}
+		groups[k] = append(groups[k], row)
+	}
+	keys := make([]winAd, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].win != keys[j].win {
+			return keys[i].win < keys[j].win
+		}
+		return keys[i].ad < keys[j].ad
+	})
+
+	cache := make(map[winAd]WindowModel, len(prev))
+	for _, m := range prev {
+		cache[winAd{m.Win, m.Ad}] = m
+	}
+	var trained int64
+	models := make([]WindowModel, 0, len(keys))
+	for _, k := range keys {
+		if pm, ok := cache[k]; ok && pm.Frozen {
+			models = append(models, pm)
+			continue
+		}
+		rows := groups[k]
+		trained += int64(len(rows))
+		pm, hasPrev := cache[k]
+		frozen := (k.win+1)*int64(st.P.TrainPeriod) <= int64(st.Watermark)
+		models = append(models, r.trainWindow(k, rows, frozen, pm, hasPrev))
+	}
+	st.Models = models
+	st.RecordTiming("Model", trained, time.Since(start).Nanoseconds())
+}
+
+// trainWindow fits one (window, ad) model. The warm path runs only when
+// allowed, when the window had a previous model to start from, and is
+// kept only if its lift-curve area stays within WarmTolerance of the
+// previously recorded area.
+func (r *Refresher) trainWindow(k winAd, rows []temporal.Row, frozen bool, prev WindowModel, hasPrev bool) WindowModel {
+	exs := RowsToExamples(rows)
+	cfg := ml.DefaultLRConfig()
+	cfg.Epochs = r.State.P.ModelEpochs
+
+	if r.Opts.AllowWarmStart && hasPrev && prev.Model != nil {
+		wcfg := cfg
+		wcfg.Epochs = r.Opts.WarmEpochs
+		wm := ml.TrainLRWarm(exs, wcfg, prev.Model)
+		if area := windowArea(wm, exs); math.Abs(area-prev.Area) <= r.Opts.WarmTolerance {
+			r.WarmStarts++
+			return WindowModel{Win: k.win, Ad: k.ad, Frozen: frozen, Model: wm, Area: area}
+		}
+		r.WarmRejects++
+	}
+	m := ml.TrainLR(exs, cfg)
+	return WindowModel{Win: k.win, Ad: k.ad, Frozen: frozen, Model: m, Area: windowArea(m, exs)}
+}
+
+// windowArea scores a model on its own window's examples and integrates
+// the lift-coverage curve — the self-referential quality number the
+// warm gate compares across ingests.
+func windowArea(m *ml.Model, exs []ml.Example) float64 {
+	if len(exs) == 0 {
+		return 0
+	}
+	preds := make([]float64, len(exs))
+	labels := make([]bool, len(exs))
+	for i, ex := range exs {
+		preds[i] = m.Predict(ex.Features)
+		labels[i] = ex.Clicked
+	}
+	return ml.CurveArea(ml.LiftCoverageCurve(preds, labels, 20))
+}

@@ -1,0 +1,447 @@
+package bt
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"timr/internal/dur"
+	"timr/internal/temporal"
+	"timr/internal/workload"
+)
+
+// refreshWorkload is the 7-day sliding-window drill setup: small enough
+// to run both refresh paths daily, with amplified CTR structure so
+// feature selection and models have real signal, and a short τ so the
+// delta window is a small fraction of a day.
+func refreshWorkload() (Params, workload.Config) {
+	cfg := workload.Config{
+		Users: 220, Keywords: 180, AdClasses: 5, Days: 7, Seed: 5,
+		SearchesPerUserDay: 12, ImpressionsPerUserDay: 8,
+		BaseCTR: 0.18, PosLift: 3, NegDamp: 0.5,
+		PosKeywordsPerAd: 6, NegKeywordsPerAd: 6,
+		InterestKeywordsPerUser: 5,
+		BotFraction:             0.01, BotRateMultiplier: 30,
+		Tau: 2 * temporal.Hour,
+	}
+	p := Params{
+		T1: 60, T2: 60,
+		BotHop:      30 * temporal.Minute,
+		Tau:         2 * temporal.Hour,
+		D:           5 * temporal.Minute,
+		TrainPeriod: temporal.Day,
+		ZThreshold:  0,
+		ModelEpochs: 6,
+	}
+	return p, cfg
+}
+
+func summaryBytes(t *testing.T, r *Refresher) []byte {
+	t.Helper()
+	b, err := r.State.SummaryBytes()
+	if err != nil {
+		t.Fatalf("SummaryBytes: %v", err)
+	}
+	return b
+}
+
+func ingestAllDays(t *testing.T, r *Refresher, d *workload.Dataset, onDay func(day int)) {
+	t.Helper()
+	for day := 0; day < d.Cfg.Days; day++ {
+		end := temporal.Time(day+1) * temporal.Day
+		if err := r.IngestDay(d.DayRows(day), end); err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		if onDay != nil {
+			onDay(day)
+		}
+	}
+}
+
+// The tentpole invariant: every day's delta refresh lands in state
+// byte-identical to a from-scratch full recompute over complete raw
+// history — counts, z-selected features, train rows, tail, and every
+// window model.
+func TestRefreshDeltaMatchesFull(t *testing.T) {
+	p, cfg := refreshWorkload()
+	d := workload.Generate(cfg)
+
+	deltaR := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta})
+	fullR := NewRefresher(p, cfg, RefreshOptions{Mode: ModeFull, RetainHistory: true})
+
+	for day := 0; day < cfg.Days; day++ {
+		end := temporal.Time(day+1) * temporal.Day
+		rows := d.DayRows(day)
+		if err := deltaR.IngestDay(rows, end); err != nil {
+			t.Fatalf("delta day %d: %v", day, err)
+		}
+		if err := fullR.IngestDay(rows, end); err != nil {
+			t.Fatalf("full day %d: %v", day, err)
+		}
+		db, fb := summaryBytes(t, deltaR), summaryBytes(t, fullR)
+		if !bytes.Equal(db, fb) {
+			t.Fatalf("day %d: delta state diverged from full recompute (%d vs %d bytes)", day, len(db), len(fb))
+		}
+		if !deltaR.LastDelta || fullR.LastDelta {
+			t.Fatalf("day %d: forced modes not honored (delta=%v full=%v)", day, deltaR.LastDelta, fullR.LastDelta)
+		}
+	}
+	st := deltaR.State
+	if st.Days != cfg.Days || len(st.Train) == 0 || len(st.Models) == 0 {
+		t.Fatalf("implausible final state: days=%d train=%d models=%d", st.Days, len(st.Train), len(st.Models))
+	}
+	frozen := 0
+	for _, m := range st.Models {
+		if m.Frozen {
+			frozen++
+		}
+	}
+	if frozen == 0 {
+		t.Fatal("a 7-day run with daily training windows must freeze some windows")
+	}
+}
+
+// Pins the summary path to the engine: with the watermark pushed past
+// the horizon, the refresher's finalized train rows equal the engine
+// pipeline's train dataset, and its z-selected feature set equals the
+// engine's score stream (window w scores are valid during period w+1),
+// z values bit-identical.
+func TestRefreshSummaryMatchesEnginePipeline(t *testing.T) {
+	p, cfg := refreshWorkload()
+	d := workload.Generate(cfg)
+
+	r := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta})
+	// One ingest covering the whole log, with dayEnd beyond the horizon
+	// so F = Horizon and every row finalizes.
+	if err := r.IngestDay(d.Rows, d.Horizon+p.D); err != nil {
+		t.Fatal(err)
+	}
+
+	phases, err := RunSingleNode(p, d.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineTrain := make([]temporal.Row, 0, len(phases[DSTrain]))
+	for _, e := range phases[DSTrain] {
+		engineTrain = append(engineTrain, e.Payload)
+	}
+	sortRows(engineTrain)
+	if len(engineTrain) != len(r.State.Train) {
+		t.Fatalf("train rows: summary %d vs engine %d", len(r.State.Train), len(engineTrain))
+	}
+	for i := range engineTrain {
+		if rowLess(engineTrain[i], r.State.Train[i]) || rowLess(r.State.Train[i], engineTrain[i]) {
+			t.Fatalf("train row %d differs: %v vs %v", i, r.State.Train[i], engineTrain[i])
+		}
+	}
+
+	selected := r.State.Counts.SelectFeatures(p)
+	engineSel := make(map[KwKey]float64)
+	for _, e := range phases[DSScores] {
+		win := int64(e.LE)/int64(p.TrainPeriod) - 1
+		k := KwKey{Win: win, Ad: e.Payload[0].AsInt(), Kw: e.Payload[1].AsInt()}
+		engineSel[k] = e.Payload[2].AsFloat()
+	}
+	if len(engineSel) == 0 {
+		t.Fatal("engine selected no features; workload too weak to pin against")
+	}
+	if len(selected) != len(engineSel) {
+		t.Fatalf("selected features: summary %d vs engine %d", len(selected), len(engineSel))
+	}
+	for k, z := range engineSel {
+		sz, ok := selected[k]
+		if !ok {
+			t.Fatalf("engine selected %+v (z=%v) but summary did not", k, z)
+		}
+		if sz != z {
+			t.Fatalf("z mismatch for %+v: summary %v vs engine %v", k, sz, z)
+		}
+	}
+}
+
+// The chooser: with history retained and per-row costs observed, small
+// daily deltas against a growing history must flip the decision to the
+// delta path; without history the decision is forced.
+func TestRefreshCostChooser(t *testing.T) {
+	p, cfg := refreshWorkload()
+	cfg.Days = 4
+	d := workload.Generate(cfg)
+
+	auto := NewRefresher(p, cfg, RefreshOptions{RetainHistory: true})
+	ingestAllDays(t, auto, d, nil)
+	if len(auto.Choices) == 0 {
+		t.Fatal("chooser recorded no decisions")
+	}
+	if !auto.LastDelta {
+		t.Fatalf("day %d of a growing history should choose the delta path: %+v", cfg.Days, auto.Choices)
+	}
+	for _, c := range auto.Choices {
+		if c.PerRow <= 0 || c.FullCost < 0 || c.DeltaCost < 0 {
+			t.Fatalf("implausible choice pricing: %+v", c)
+		}
+	}
+	front := auto.Choices[0]
+	if front.Stage != "Front" || !front.Delta || front.DeltaCost >= front.FullCost {
+		t.Fatalf("front stage should be cheaper as delta by day 4: %+v", front)
+	}
+	if obs := auto.State.Observation("Front"); obs.PerRow() == 0 {
+		t.Fatal("front stage timings were never recorded")
+	}
+
+	noHist := NewRefresher(p, cfg, RefreshOptions{})
+	if err := noHist.IngestDay(d.DayRows(0), temporal.Day); err != nil {
+		t.Fatal(err)
+	}
+	if !noHist.LastDelta || !noHist.Choices[0].Forced {
+		t.Fatalf("without retained history the front stage must force delta: %+v", noHist.Choices[0])
+	}
+	if err := NewRefresher(p, cfg, RefreshOptions{Mode: ModeFull}).IngestDay(d.DayRows(0), temporal.Day); err == nil {
+		t.Fatal("ModeFull without RetainHistory must error")
+	}
+}
+
+// Refresh state survives kill -9 between ingests: reopen the store,
+// restore the newest intact generation, keep going — final state
+// byte-identical to the uninterrupted run, under 30% injected I/O
+// faults, including a fallback past a deliberately corrupted newest
+// generation.
+func TestRefreshDurableResume(t *testing.T) {
+	p, cfg := refreshWorkload()
+	cfg.Users = 150
+	cfg.Days = 5
+	d := workload.Generate(cfg)
+
+	ref := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta})
+	ingestAllDays(t, ref, d, nil)
+	want := summaryBytes(t, ref)
+
+	for _, killAfter := range []int{1, 3} {
+		dir := t.TempDir()
+		open := func(seed int64) *dur.Store {
+			fs := dur.NewFaultFS(dur.OS{}, dur.FaultConfig{Rate: 0.3, Seed: seed})
+			st, err := dur.OpenStore(dir, dur.Options{FS: fs, Retries: 16})
+			if err != nil {
+				t.Fatalf("open store: %v", err)
+			}
+			return st
+		}
+
+		r1 := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta, Store: open(int64(killAfter))})
+		for day := 0; day < killAfter; day++ {
+			if err := r1.IngestDay(d.DayRows(day), temporal.Time(day+1)*temporal.Day); err != nil {
+				t.Fatalf("pre-kill day %d: %v", day, err)
+			}
+			if r1.DurErr != nil {
+				t.Fatalf("commit day %d: %v", day, r1.DurErr)
+			}
+		}
+		// kill -9: r1 is abandoned mid-flight; a new process reopens.
+		r2 := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta, Store: open(int64(killAfter) + 100)})
+		resumed, err := r2.Restore()
+		if err != nil || !resumed {
+			t.Fatalf("restore after kill at day %d: resumed=%v err=%v", killAfter, resumed, err)
+		}
+		if r2.State.Days != killAfter {
+			t.Fatalf("restored %d ingested days, want %d", r2.State.Days, killAfter)
+		}
+		for day := r2.State.Days; day < cfg.Days; day++ {
+			if err := r2.IngestDay(d.DayRows(day), temporal.Time(day+1)*temporal.Day); err != nil {
+				t.Fatalf("post-resume day %d: %v", day, err)
+			}
+		}
+		if got := summaryBytes(t, r2); !bytes.Equal(got, want) {
+			t.Fatalf("kill at day %d: resumed final state diverged from uninterrupted run", killAfter)
+		}
+	}
+}
+
+func TestRefreshQuarantineFallback(t *testing.T) {
+	p, cfg := refreshWorkload()
+	cfg.Users = 120
+	cfg.Days = 3
+	d := workload.Generate(cfg)
+	dir := t.TempDir()
+
+	st, err := dur.OpenStore(dir, dur.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta, Store: st})
+	ingestAllDays(t, r1, d, nil)
+
+	// Corrupt the newest generation's checkpoint payload.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts []string
+	for _, n := range names {
+		if strings.HasSuffix(n.Name(), ".ckpt") {
+			ckpts = append(ckpts, n.Name())
+		}
+	}
+	sort.Strings(ckpts)
+	victim := filepath.Join(dir, ckpts[len(ckpts)-1])
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := dur.OpenStore(dir, dur.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta, Store: st2})
+	resumed, err := r2.Restore()
+	if err != nil || !resumed {
+		t.Fatalf("restore past corruption: resumed=%v err=%v", resumed, err)
+	}
+	if r2.State.Days != cfg.Days-1 {
+		t.Fatalf("fallback restored %d days, want %d (the predecessor generation)", r2.State.Days, cfg.Days-1)
+	}
+	// Re-ingest the lost day; the refresher must converge to the same
+	// final state as the uninterrupted run.
+	if err := r2.IngestDay(d.DayRows(cfg.Days-1), temporal.Time(cfg.Days)*temporal.Day); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaryBytes(t, r2), summaryBytes(t, r1); !bytes.Equal(got, want) {
+		t.Fatal("state after quarantine fallback + re-ingest diverged")
+	}
+}
+
+// Warm start: enabled, it must actually fire, every kept warm model has
+// passed the parity gate, and the final models stay close in quality to
+// the exact refresher's.
+func TestRefreshWarmStartParity(t *testing.T) {
+	p, cfg := refreshWorkload()
+	cfg.Days = 5
+	d := workload.Generate(cfg)
+
+	exact := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta})
+	warm := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta, AllowWarmStart: true, WarmTolerance: 0.1})
+	ingestAllDays(t, exact, d, nil)
+	ingestAllDays(t, warm, d, nil)
+
+	if warm.WarmStarts == 0 {
+		t.Fatalf("warm start never fired (rejects=%d)", warm.WarmRejects)
+	}
+	exactAreas := make(map[winAd]float64)
+	for _, m := range exact.State.Models {
+		exactAreas[winAd{m.Win, m.Ad}] = m.Area
+	}
+	compared := 0
+	for _, m := range warm.State.Models {
+		ea, ok := exactAreas[winAd{m.Win, m.Ad}]
+		if !ok {
+			continue
+		}
+		compared++
+		if diff := math.Abs(m.Area - ea); diff > 3*warm.Opts.WarmTolerance {
+			t.Fatalf("window (%d,%d): warm area %v drifted %v from exact %v", m.Win, m.Ad, m.Area, diff, ea)
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no overlapping window models to compare")
+	}
+}
+
+func TestRefreshStateRoundtrip(t *testing.T) {
+	p, cfg := refreshWorkload()
+	cfg.Users = 120
+	cfg.Days = 2
+	d := workload.Generate(cfg)
+	r := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta})
+	ingestAllDays(t, r, d, nil)
+
+	enc, err := EncodeState(r.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := DecodeState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r.State.SummaryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := st2.SummaryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("state round-trip changed SummaryBytes")
+	}
+	enc2, err := EncodeState(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("state round-trip changed full encoding (timings included)")
+	}
+	if st2.P != r.State.P || st2.Cfg != r.State.Cfg || st2.Days != r.State.Days {
+		t.Fatal("state round-trip changed header fields")
+	}
+}
+
+// FuzzSummaryRoundtrip: DecodeState must never panic on arbitrary
+// bytes, and any state it accepts must re-encode and re-decode to the
+// same canonical bytes (both with and without timings).
+func FuzzSummaryRoundtrip(f *testing.F) {
+	p, cfg := refreshWorkload()
+	cfg.Users = 12
+	cfg.Days = 1
+	d := workload.Generate(cfg)
+	r := NewRefresher(p, cfg, RefreshOptions{Mode: ModeDelta})
+	if err := r.IngestDay(d.DayRows(0), temporal.Day); err != nil {
+		f.Fatal(err)
+	}
+	if seed, err := EncodeState(r.State); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := r.State.SummaryBytes(); err == nil {
+		f.Add(seed)
+	}
+	empty, err := EncodeState(NewRefreshState(p, cfg))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeState(st)
+		if err != nil {
+			t.Fatalf("re-encode of accepted state failed: %v", err)
+		}
+		st2, err := DecodeState(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		enc2, err := EncodeState(st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("canonical encoding not a fixed point")
+		}
+		s1, err1 := st.SummaryBytes()
+		s2, err2 := st2.SummaryBytes()
+		if err1 != nil || err2 != nil || !bytes.Equal(s1, s2) {
+			t.Fatal("SummaryBytes not stable across round-trip")
+		}
+	})
+}

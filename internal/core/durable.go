@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"timr/internal/dur"
 	"timr/internal/temporal"
@@ -43,6 +44,17 @@ func (j *StreamingJob) commitDurable(t temporal.Time) {
 				Frag: st.frag.Name, Part: p.id, Ckpt: p.ckpt, Log: p.log,
 			})
 		}
+	}
+	var srcNames []string
+	for name, f := range j.feeders {
+		if _, ok := f.Position(); ok {
+			srcNames = append(srcNames, name)
+		}
+	}
+	sort.Strings(srcNames)
+	for _, name := range srcNames {
+		pos, _ := j.feeders[name].Position()
+		snap.Offsets = append(snap.Offsets, dur.SourceOffset{Name: name, Pos: pos})
 	}
 	j.durErr = j.durStore.Commit(snap)
 }
@@ -112,5 +124,10 @@ func (j *StreamingJob) applySnapshot(snap *dur.Snapshot) error {
 	}
 	j.results = append(j.results[:0], snap.Results...)
 	j.out.pending = append(j.out.pending[:0], snap.Pending...)
+	for _, o := range snap.Offsets {
+		if f, ok := j.feeders[o.Name]; ok {
+			f.SetPosition(o.Pos)
+		}
+	}
 	return nil
 }

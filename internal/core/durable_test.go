@@ -183,6 +183,119 @@ func TestDurableRestartBitIdentity(t *testing.T) {
 	}
 }
 
+// runKilledPublishingOffsets is runKilled with the driver additionally
+// publishing its schedule position (the index of the wave-triggering
+// event, not yet fed) before every Advance — the contract `timr serve`
+// uses so recovery can seek instead of re-walking the schedule.
+func runKilledPublishingOffsets(t *testing.T, plan *temporal.Plan, schemas map[string]*temporal.Schema,
+	source string, events []temporal.Event, machines int, cfg core.Config,
+	period temporal.Time, store *dur.Store, killAfter int) {
+	t.Helper()
+	sj, err := core.NewStreamingJob(plan, schemas,
+		core.WithMachines(machines), core.WithConfig(cfg), core.WithDurable(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sj.Source(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := temporal.Time(temporal.MinTime)
+	for i, e := range events {
+		if i >= killAfter {
+			return
+		}
+		if last == temporal.MinTime {
+			last = e.LE
+		} else if e.LE-last >= period {
+			src.SetPosition(int64(i))
+			if err := sj.Advance(e.LE); err != nil {
+				t.Fatal(err)
+			}
+			last = e.LE
+		}
+		if err := src.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDurableOffsetSeekResume(t *testing.T) {
+	// The seek-based resume: instead of re-walking the whole schedule
+	// tracking wave-fire points (resumeAndFinish), the restarted driver
+	// reads the recovered input offset and starts the loop there. Output
+	// must stay bit-identical to the uninterrupted run.
+	mk, sch := durablePlan()
+	events := durableEvents(900)
+	schemas := map[string]*temporal.Schema{"clicks": sch}
+	period := temporal.Time(20)
+
+	clean := driveStream(t, mk(true), schemas, "clicks", events, 3, core.DefaultConfig(), period)
+
+	for _, killAfter := range []int{5, 333, 601, 899} {
+		killAfter := killAfter
+		t.Run(fmt.Sprintf("kill%d", killAfter), func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := dur.OpenStore(dir, dur.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runKilledPublishingOffsets(t, mk(true), schemas, "clicks", events, 3, core.DefaultConfig(), period, store, killAfter)
+
+			store2, err := dur.OpenStore(dir, dur.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sj, rec, err := core.RestoreFromDir(mk(true), schemas, store2,
+				core.WithMachines(3), core.WithConfig(core.DefaultConfig()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := sj.Source("clicks")
+			if err != nil {
+				t.Fatal(err)
+			}
+			start, last := 0, temporal.Time(temporal.MinTime)
+			if rec != nil {
+				// The committed offset is the index of the event that
+				// triggered the recovered wave; its Advance is inside the
+				// generation, so feeding restarts exactly there.
+				pos, ok := src.Position()
+				if !ok {
+					t.Fatal("recovered generation carries no input offset")
+				}
+				if snapPos, snapOK := rec.Snap.Offset("clicks"); !snapOK || snapPos != pos {
+					t.Fatalf("snapshot offset %d/%v disagrees with restored feeder position %d", snapPos, snapOK, pos)
+				}
+				start, last = int(pos), rec.Snap.Wave
+			}
+			for _, e := range events[start:] {
+				if last == temporal.MinTime {
+					last = e.LE
+				} else if e.LE-last >= period {
+					src.SetPosition(int64(start))
+					if err := sj.Advance(e.LE); err != nil {
+						t.Fatal(err)
+					}
+					last = e.LE
+				}
+				if err := src.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+				start++
+			}
+			sj.Flush()
+			got, err := sj.Results()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !temporal.EventsEqual(got, clean) {
+				t.Fatalf("seek resume after %d feeds diverges: %d vs %d events", killAfter, len(got), len(clean))
+			}
+		})
+	}
+}
+
 func TestDurableRestartUnderInjectedFaults(t *testing.T) {
 	mk, sch := durablePlan()
 	events := durableEvents(900)

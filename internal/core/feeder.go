@@ -31,6 +31,7 @@ type Feeder struct {
 
 	budget int64 // per-wave admission credits; 0 = unbounded
 	used   int64 // events admitted since the last wave
+	pos    int64 // driver-published input position; -1 = never set
 
 	events   *obs.Counter // events admitted into the dataflow
 	shed     *obs.Counter // TryFeed refusals (events not admitted)
@@ -41,7 +42,7 @@ type Feeder struct {
 func newFeeder(j *StreamingJob, name string, ins []stageInput, budget int64) *Feeder {
 	sc := j.cfg.Obs.Child("stream.source." + name)
 	return &Feeder{
-		job: j, name: name, ins: ins, budget: budget,
+		job: j, name: name, ins: ins, budget: budget, pos: -1,
 		events:   sc.Counter("events_in"),
 		shed:     sc.Counter("shed_events"),
 		deferred: sc.Counter("deferred_events"),
@@ -62,6 +63,17 @@ func (j *StreamingJob) Source(name string) (*Feeder, error) {
 
 // Name returns the source name this feeder ingests.
 func (f *Feeder) Name() string { return f.name }
+
+// SetPosition publishes the source's current input position — an opaque,
+// driver-owned cursor into its schedule (typically "entries consumed so
+// far"). The position is committed with every durable generation, so a
+// restarted driver can seek its input to the recovered cursor instead of
+// re-walking the schedule from the start. The job never interprets it.
+func (f *Feeder) SetPosition(pos int64) { f.pos = pos }
+
+// Position returns the last published input position and whether one was
+// ever set (restored positions from a recovered generation count).
+func (f *Feeder) Position() (int64, bool) { return f.pos, f.pos >= 0 }
 
 // Backlogged reports whether the current wave's intake budget is already
 // exhausted — the state in which TryFeed would refuse.

@@ -1,0 +1,122 @@
+package core
+
+// Cost-based full-vs-delta refresh planning.
+//
+// The incremental BT refresher (internal/bt) maintains the pipeline's
+// back stages from mergeable summaries; every ingest it can either
+// recompute a stage over full history or apply the day's delta and
+// merge. Both are exact for the summary stages, so the choice is purely
+// a cost call — and it reuses the optimizer's cost model: per-row rates
+// come from recorded stage timings when the refresher has observed the
+// stage before, falling back to the Stats CPU weights (scaled by the
+// same operator factors Optimize uses) when it has not.
+
+// StageObs is one recorded observation of a stage: how many rows it
+// processed and how long it took. The refresher persists these with its
+// state, so the chooser calibrates to the machine it actually runs on.
+type StageObs struct {
+	Rows int64
+	Ns   int64
+}
+
+// PerRow returns the observed per-row cost in nanoseconds, or 0 when
+// the observation is empty.
+func (s StageObs) PerRow() float64 {
+	if s.Rows <= 0 || s.Ns <= 0 {
+		return 0
+	}
+	return float64(s.Ns) / float64(s.Rows)
+}
+
+// RefreshStage describes one stage's full-vs-delta alternatives for the
+// chooser.
+type RefreshStage struct {
+	Name string
+
+	// FullRows is the row count a full recompute of the stage would
+	// process; DeltaRows the count the delta path would.
+	FullRows  int64
+	DeltaRows int64
+
+	// MergeUnits counts the summary entries the delta path must merge on
+	// top of its row work. Merging an entry is far cheaper than
+	// producing a row (a map add vs a pipeline of temporal operators);
+	// the model prices it at mergeUnitWeight of a row.
+	MergeUnits int64
+
+	// Observed is the stage's recorded per-row cost from a previous
+	// refresh; zero-valued falls back to the Stats-derived rate.
+	Observed StageObs
+
+	// Factor scales the fallback per-row rate like the optimizer's
+	// operator factors (0 means 1.0).
+	Factor float64
+
+	// ForceDelta marks stages whose full path is unavailable — e.g. the
+	// refresher did not retain full raw history — making the choice
+	// one-sided regardless of cost.
+	ForceDelta bool
+}
+
+// RefreshChoice is the chooser's verdict for one stage.
+type RefreshChoice struct {
+	Stage     string
+	Delta     bool
+	Forced    bool
+	FullCost  float64
+	DeltaCost float64
+	PerRow    float64 // rate used (ns/row when observed, model units otherwise)
+}
+
+// mergeUnitWeight prices merging one summary entry relative to
+// processing one row through the stage.
+const mergeUnitWeight = 0.05
+
+// PlanRefresh prices every stage's full and delta alternatives and
+// picks the cheaper one per stage. Stages priced from observations use
+// real nanoseconds; unobserved stages use the Stats CPU weight scaled
+// by the stage factor — the units only ever compare within one stage,
+// so mixing calibrated and modeled stages is sound.
+func (o *Optimizer) PlanRefresh(stages []RefreshStage) []RefreshChoice {
+	out := make([]RefreshChoice, 0, len(stages))
+	for _, st := range stages {
+		perRow := st.Observed.PerRow()
+		if perRow == 0 {
+			f := st.Factor
+			if f == 0 {
+				f = 1.0
+			}
+			perRow = o.Stats.CPUPerRow * f
+		}
+		c := RefreshChoice{
+			Stage:     st.Name,
+			PerRow:    perRow,
+			FullCost:  perRow * float64(st.FullRows),
+			DeltaCost: perRow * (float64(st.DeltaRows) + mergeUnitWeight*float64(st.MergeUnits)),
+		}
+		switch {
+		case st.ForceDelta:
+			c.Delta, c.Forced = true, true
+		default:
+			c.Delta = c.DeltaCost < c.FullCost
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ChooseDelta aggregates per-stage verdicts into the refresher's single
+// full-vs-delta decision: delta when any stage forces it (full history
+// unavailable) or when the summed delta cost undercuts the summed full
+// cost.
+func ChooseDelta(choices []RefreshChoice) bool {
+	var full, delta float64
+	for _, c := range choices {
+		if c.Forced {
+			return true
+		}
+		full += c.FullCost
+		delta += c.DeltaCost
+	}
+	return delta < full
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStageObsPerRow(t *testing.T) {
+	if got := (StageObs{}).PerRow(); got != 0 {
+		t.Fatalf("empty observation per-row = %v, want 0", got)
+	}
+	if got := (StageObs{Rows: 100, Ns: 0}).PerRow(); got != 0 {
+		t.Fatalf("zero-ns observation per-row = %v, want 0", got)
+	}
+	if got := (StageObs{Rows: 200, Ns: 1000}).PerRow(); got != 5 {
+		t.Fatalf("per-row = %v, want 5", got)
+	}
+}
+
+func TestPlanRefreshObservedVsFallback(t *testing.T) {
+	o := NewOptimizer(&Stats{CPUPerRow: 2.0})
+	choices := o.PlanRefresh([]RefreshStage{
+		// Observed stage: real nanoseconds override the model rate.
+		{Name: "obs", FullRows: 1000, DeltaRows: 100, Observed: StageObs{Rows: 10, Ns: 50}, Factor: 9.0},
+		// Unobserved stage: Stats.CPUPerRow scaled by the factor.
+		{Name: "model", FullRows: 1000, DeltaRows: 100, Factor: 3.0},
+		// Zero factor means 1.0, not a free stage.
+		{Name: "plain", FullRows: 10, DeltaRows: 40},
+	})
+	if len(choices) != 3 {
+		t.Fatalf("got %d choices, want 3", len(choices))
+	}
+	if c := choices[0]; c.PerRow != 5 || c.FullCost != 5000 || c.DeltaCost != 500 || !c.Delta {
+		t.Fatalf("observed stage mispriced: %+v", c)
+	}
+	if c := choices[1]; c.PerRow != 6 || c.FullCost != 6000 || c.DeltaCost != 600 || !c.Delta {
+		t.Fatalf("fallback stage mispriced: %+v", c)
+	}
+	if c := choices[2]; c.PerRow != 2 || c.FullCost != 20 || c.DeltaCost != 80 || c.Delta {
+		t.Fatalf("zero-factor stage mispriced: %+v", c)
+	}
+}
+
+func TestPlanRefreshMergeUnits(t *testing.T) {
+	o := NewOptimizer(&Stats{CPUPerRow: 1.0})
+	// Delta processes no rows but must merge summary entries: the merge
+	// weight alone decides. 100 units at 0.05 = 5 > 4 full rows.
+	c := o.PlanRefresh([]RefreshStage{
+		{Name: "counts", FullRows: 4, DeltaRows: 0, MergeUnits: 100},
+	})[0]
+	if math.Abs(c.DeltaCost-5) > 1e-12 || c.Delta {
+		t.Fatalf("merge-unit pricing wrong: %+v", c)
+	}
+}
+
+func TestPlanRefreshForceDelta(t *testing.T) {
+	o := NewOptimizer(nil)
+	choices := o.PlanRefresh([]RefreshStage{
+		// Full would be free, but the full path is unavailable.
+		{Name: "front", FullRows: 0, DeltaRows: 1_000_000, ForceDelta: true},
+	})
+	if c := choices[0]; !c.Delta || !c.Forced {
+		t.Fatalf("forced stage not delta: %+v", c)
+	}
+	if !ChooseDelta(choices) {
+		t.Fatal("ChooseDelta ignored a forced stage")
+	}
+}
+
+func TestChooseDeltaAggregates(t *testing.T) {
+	// One stage prefers full, one prefers delta; the sums decide.
+	cheapFull := RefreshChoice{Stage: "a", FullCost: 10, DeltaCost: 100}
+	cheapDelta := RefreshChoice{Stage: "b", FullCost: 500, DeltaCost: 20}
+	if !ChooseDelta([]RefreshChoice{cheapFull, cheapDelta}) {
+		t.Fatal("summed delta (120) should beat summed full (510)")
+	}
+	if ChooseDelta([]RefreshChoice{cheapFull}) {
+		t.Fatal("delta should lose when it costs more")
+	}
+	if ChooseDelta(nil) {
+		t.Fatal("empty choice set should default to full")
+	}
+}

@@ -88,6 +88,15 @@ type PartitionState struct {
 	Log  []temporal.Event
 }
 
+// SourceOffset records one ingest source's schedule position at the
+// committed wave: how many schedule entries the driver had consumed when
+// the wave was committed. Recovery seeks the input to Pos instead of
+// re-walking the schedule from the start.
+type SourceOffset struct {
+	Name string
+	Pos  int64
+}
+
 // Snapshot is one wave's full recovery state — exactly what the
 // in-memory crash path reconstructs from, plus the job-level output
 // record a process restart additionally needs.
@@ -99,6 +108,19 @@ type Snapshot struct {
 	// events buffered behind the final barrier (LE at or beyond Wave).
 	Results []temporal.Event
 	Pending []temporal.Event
+	// Offsets are the durable input positions of every source whose
+	// driver published one (Feeder.SetPosition), sorted by name.
+	Offsets []SourceOffset
+}
+
+// Offset returns the recorded input position for a source, if any.
+func (s *Snapshot) Offset(name string) (int64, bool) {
+	for _, o := range s.Offsets {
+		if o.Name == name {
+			return o.Pos, true
+		}
+	}
+	return 0, false
 }
 
 // Recovery is the outcome of a successful Load.
@@ -113,6 +135,7 @@ const (
 	recPartition byte = 0xD1
 	recOut       byte = 0xD2
 	recManifest  byte = 0xD3
+	recState     byte = 0xD4
 )
 
 // OpenStore opens (creating if needed) a durable store rooted at dir.
@@ -266,8 +289,35 @@ func (s *Store) Commit(snap *Snapshot) error {
 	defer s.mu.Unlock()
 	gen := s.nextGen
 	s.nextGen++ // never reuse a number, even for a failed commit
+	return s.commitFiles(gen, snap.Wave, snap.Waves, encodeSnapshot(gen, snap))
+}
 
-	data := encodeSnapshot(gen, snap)
+// CommitState commits an opaque state payload as the next generation,
+// under the same atomic protocol (ckpt write+fsync+rename, then manifest
+// rename as the commit point) and the same retry supervisor. The
+// incremental BT refresh persists one ingested day per generation this
+// way: wave carries the refresh watermark and waves the ingested-day
+// count. A store directory holds either streaming snapshots or state
+// generations, never both — a mismatched load treats the generation as
+// corrupt.
+func (s *Store) CommitState(wave temporal.Time, waves int, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.nextGen
+	s.nextGen++
+	var w temporal.Encoder
+	w.Byte(recState)
+	w.Uvarint(gen)
+	w.Varint(int64(wave))
+	w.Uvarint(uint64(waves))
+	w.BytesField(payload)
+	return s.commitFiles(gen, wave, waves, temporal.AppendFrame(nil, w.Bytes()))
+}
+
+// commitFiles is the shared tail of Commit/CommitState: the atomic
+// ckpt-then-manifest write of one already-encoded generation. Callers
+// hold s.mu.
+func (s *Store) commitFiles(gen uint64, wave temporal.Time, waves int, data []byte) error {
 	ckpt := s.ckptName(gen)
 	if err := s.writeFileAtomic(filepath.Join(s.dir, ckpt), data); err != nil {
 		s.skips.Inc()
@@ -277,8 +327,8 @@ func (s *Store) Commit(snap *Snapshot) error {
 	var mw temporal.Encoder
 	mw.Byte(recManifest)
 	mw.Uvarint(gen)
-	mw.Varint(int64(snap.Wave))
-	mw.Uvarint(uint64(snap.Waves))
+	mw.Varint(int64(wave))
+	mw.Uvarint(uint64(waves))
 	mw.String(ckpt)
 	mw.Uvarint(uint64(len(data)))
 	manData := temporal.AppendFrame(nil, mw.Bytes())
@@ -332,6 +382,52 @@ func (s *Store) prune(latest uint64) {
 // the caller then starts clean and replays everything). Generations
 // that fail validation after retries are quarantined and skipped.
 func (s *Store) Load() (*Recovery, error) {
+	var rec *Recovery
+	err := s.loadNewest(func(gen uint64, wave temporal.Time, waves int, data []byte) error {
+		snap, err := decodeSnapshot(gen, wave, waves, data)
+		if err != nil {
+			return err
+		}
+		rec = &Recovery{Gen: gen, Snap: snap}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// StateRecovery is the outcome of a successful LoadState.
+type StateRecovery struct {
+	Gen     uint64
+	Wave    temporal.Time
+	Waves   int
+	Payload []byte
+}
+
+// LoadState returns the newest intact state generation (CommitState),
+// or (nil, nil) when the store holds none. Corrupt generations are
+// quarantined with fallback, exactly like Load.
+func (s *Store) LoadState() (*StateRecovery, error) {
+	var rec *StateRecovery
+	err := s.loadNewest(func(gen uint64, wave temporal.Time, waves int, data []byte) error {
+		payload, err := decodeState(gen, wave, waves, data)
+		if err != nil {
+			return err
+		}
+		rec = &StateRecovery{Gen: gen, Wave: wave, Waves: waves, Payload: payload}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// loadNewest walks committed generations newest-first, fully validating
+// each through decode until one succeeds; failed generations are
+// quarantined. decode receives the manifest-verified checkpoint bytes.
+func (s *Store) loadNewest(decode func(gen uint64, wave temporal.Time, waves int, data []byte) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var names []string
@@ -340,7 +436,7 @@ func (s *Store) Load() (*Recovery, error) {
 		names, err = s.fs.ReadDir(s.dir)
 		return err
 	}); err != nil {
-		return nil, fmt.Errorf("dur: load: %w", err)
+		return fmt.Errorf("dur: load: %w", err)
 	}
 	var gens []uint64
 	for _, n := range names {
@@ -351,39 +447,41 @@ func (s *Store) Load() (*Recovery, error) {
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
 	for _, g := range gens {
-		var snap *Snapshot
 		err := s.retry(func() error {
-			var err error
-			snap, err = s.loadGen(g)
-			return err
+			wave, waves, data, err := s.readGen(g)
+			if err != nil {
+				return err
+			}
+			return decode(g, wave, waves, data)
 		})
 		if err == nil {
-			return &Recovery{Gen: g, Snap: snap}, nil
+			return nil
 		}
 		// Persistent failure across retries: the generation is corrupt on
 		// disk, not transiently unreadable. Quarantine it and fall back.
 		s.corrupt.Inc()
 		s.quarantine(g)
 	}
-	return nil, nil
+	return nil
 }
 
-// loadGen reads and fully validates one generation.
-func (s *Store) loadGen(gen uint64) (*Snapshot, error) {
+// readGen reads one generation's checkpoint bytes after validating them
+// against its manifest.
+func (s *Store) readGen(gen uint64) (temporal.Time, int, []byte, error) {
 	manData, err := s.readFile(filepath.Join(s.dir, s.manifestName(gen)))
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	payload, rest, err := temporal.DecodeFrame(manData)
 	if err != nil {
-		return nil, fmt.Errorf("manifest: %w", err)
+		return 0, 0, nil, fmt.Errorf("manifest: %w", err)
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("manifest: %d trailing bytes", len(rest))
+		return 0, 0, nil, fmt.Errorf("manifest: %d trailing bytes", len(rest))
 	}
 	mr := temporal.NewDecoder(payload)
 	if err := mr.Expect(recManifest, "manifest"); err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	mgen := mr.Uvarint()
 	wave := temporal.Time(mr.Varint())
@@ -391,20 +489,20 @@ func (s *Store) loadGen(gen uint64) (*Snapshot, error) {
 	ckptName := mr.String()
 	ckptSize := mr.Uvarint()
 	if err := mr.Done(); err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	if mgen != gen {
-		return nil, fmt.Errorf("manifest records gen %d, file named %d", mgen, gen)
+		return 0, 0, nil, fmt.Errorf("manifest records gen %d, file named %d", mgen, gen)
 	}
 
 	data, err := s.readFile(filepath.Join(s.dir, ckptName))
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	if uint64(len(data)) != ckptSize {
-		return nil, fmt.Errorf("checkpoint file is %d bytes, manifest records %d", len(data), ckptSize)
+		return 0, 0, nil, fmt.Errorf("checkpoint file is %d bytes, manifest records %d", len(data), ckptSize)
 	}
-	return decodeSnapshot(gen, wave, waves, data)
+	return wave, waves, data, nil
 }
 
 // quarantine renames a corrupt generation's files to corrupt-* so they
@@ -483,6 +581,11 @@ func encodeSnapshot(gen uint64, snap *Snapshot) []byte {
 	w.Varint(int64(snap.Wave))
 	w.Uvarint(uint64(snap.Waves))
 	w.Uvarint(uint64(len(snap.Parts)))
+	w.Uvarint(uint64(len(snap.Offsets)))
+	for _, o := range snap.Offsets {
+		w.String(o.Name)
+		w.Varint(o.Pos)
+	}
 	buf = temporal.AppendFrame(buf, w.Bytes())
 	for _, p := range snap.Parts {
 		w.Reset()
@@ -516,6 +619,11 @@ func decodeSnapshot(gen uint64, wave temporal.Time, waves int, data []byte) (*Sn
 	hwave := temporal.Time(hr.Varint())
 	hwaves := int(hr.Uvarint())
 	nparts := int(hr.Uvarint())
+	noffs := hr.Count("source offsets")
+	snap := &Snapshot{Wave: wave, Waves: waves}
+	for i := 0; i < noffs; i++ {
+		snap.Offsets = append(snap.Offsets, SourceOffset{Name: hr.String(), Pos: hr.Varint()})
+	}
 	if err := hr.Done(); err != nil {
 		return nil, err
 	}
@@ -523,7 +631,6 @@ func decodeSnapshot(gen uint64, wave temporal.Time, waves int, data []byte) (*Sn
 		return nil, fmt.Errorf("header (gen %d wave %d waves %d) disagrees with manifest (gen %d wave %d waves %d)",
 			hgen, hwave, hwaves, gen, wave, waves)
 	}
-	snap := &Snapshot{Wave: wave, Waves: waves}
 	for i := 0; i < nparts; i++ {
 		payload, rest, err = temporal.DecodeFrame(rest)
 		if err != nil {
@@ -561,4 +668,34 @@ func decodeSnapshot(gen uint64, wave temporal.Time, waves int, data []byte) (*Sn
 		return nil, fmt.Errorf("%d trailing bytes after output frame", len(rest))
 	}
 	return snap, nil
+}
+
+// decodeState validates a state generation (CommitState) and returns its
+// payload. The frame checksum, record tag, and manifest cross-checks must
+// all agree — a streaming snapshot in the same slot fails here and is
+// quarantined, enforcing the one-kind-per-directory contract.
+func decodeState(gen uint64, wave temporal.Time, waves int, data []byte) ([]byte, error) {
+	payload, rest, err := temporal.DecodeFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("state frame: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("state frame: %d trailing bytes", len(rest))
+	}
+	r := temporal.NewDecoder(payload)
+	if err := r.Expect(recState, "state record"); err != nil {
+		return nil, err
+	}
+	hgen := r.Uvarint()
+	hwave := temporal.Time(r.Varint())
+	hwaves := int(r.Uvarint())
+	body := r.BytesField()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	if hgen != gen || hwave != wave || hwaves != waves {
+		return nil, fmt.Errorf("state record (gen %d wave %d waves %d) disagrees with manifest (gen %d wave %d waves %d)",
+			hgen, hwave, hwaves, gen, wave, waves)
+	}
+	return body, nil
 }

@@ -35,6 +35,10 @@ func testSnapshot(wave temporal.Time, waves int) *Snapshot {
 		Pending: []temporal.Event{
 			temporal.PointEvent(wave+2, temporal.Row{temporal.Bool(true)}),
 		},
+		Offsets: []SourceOffset{
+			{Name: "clicks", Pos: int64(wave) * 3},
+			{Name: "reduced", Pos: int64(waves)},
+		},
 	}
 }
 
@@ -81,6 +85,136 @@ func TestDurableStoreRoundtrip(t *testing.T) {
 	}
 	if got := sc.Counter("dur_bytes").Value(); got <= 0 {
 		t.Fatalf("dur_bytes counter = %d, want > 0", got)
+	}
+}
+
+func TestDurableStoreOffsetsRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(testSnapshot(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Load()
+	if err != nil || rec == nil {
+		t.Fatalf("Load = %v, %v", rec, err)
+	}
+	if pos, ok := rec.Snap.Offset("reduced"); !ok || pos != 3 {
+		t.Fatalf("Offset(reduced) = %d, %v; want 3, true", pos, ok)
+	}
+	if pos, ok := rec.Snap.Offset("clicks"); !ok || pos != 300 {
+		t.Fatalf("Offset(clicks) = %d, %v; want 300, true", pos, ok)
+	}
+	if _, ok := rec.Snap.Offset("nope"); ok {
+		t.Fatal("Offset on an unrecorded source must report absence")
+	}
+}
+
+func TestDurableStoreStateRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	sc := obs.New("dur")
+	st, err := OpenStore(dir, Options{Obs: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := st.LoadState(); err != nil || rec != nil {
+		t.Fatalf("empty store: LoadState = %v, %v; want nil, nil", rec, err)
+	}
+	for day := 1; day <= 3; day++ {
+		payload := []byte(fmt.Sprintf("refresh-state-day-%d", day))
+		if err := st.CommitState(temporal.Time(day*1000), day, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen cold, as a restarted process would.
+	st2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st2.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil {
+		t.Fatal("LoadState found no generation after successful commits")
+	}
+	if rec.Wave != 3000 || rec.Waves != 3 || string(rec.Payload) != "refresh-state-day-3" {
+		t.Fatalf("recovered (wave %d, waves %d, %q); want newest day", rec.Wave, rec.Waves, rec.Payload)
+	}
+}
+
+func TestDurableStoreStateQuarantineFallback(t *testing.T) {
+	dir := t.TempDir()
+	sc := obs.New("dur")
+	st, err := OpenStore(dir, Options{Obs: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitState(10, 1, []byte("day-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitState(20, 2, []byte("day-2")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the newest generation's checkpoint file.
+	names, _ := OS{}.ReadDir(dir)
+	var newest string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".ckpt") && n > newest {
+			newest = n
+		}
+	}
+	path := filepath.Join(dir, newest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := st.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec == nil || string(rec.Payload) != "day-1" {
+		t.Fatalf("LoadState after corruption = %v; want fallback to day-1", rec)
+	}
+	if got := sc.Counter("corrupt_detected").Value(); got != 1 {
+		t.Fatalf("corrupt_detected = %d, want 1", got)
+	}
+	names, _ = OS{}.ReadDir(dir)
+	quarantined := false
+	for _, n := range names {
+		if strings.HasPrefix(n, "corrupt-") {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("corrupt generation not quarantined (files: %v)", names)
+	}
+}
+
+func TestDurableStoreStateRejectsSnapshotGeneration(t *testing.T) {
+	// A streaming snapshot in a directory read as a state store must be
+	// detected as the wrong kind (quarantined), never misparsed.
+	dir := t.TempDir()
+	st, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(testSnapshot(100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatalf("LoadState parsed a streaming snapshot: %v", rec)
 	}
 }
 

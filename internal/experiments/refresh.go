@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"timr/internal/bt"
+	"timr/internal/temporal"
+	"timr/internal/workload"
+)
+
+// refreshWorkload scales the sliding-window drill: always a 7-day log
+// (one ingest per day), with the user population shrunk under Quick.
+func refreshWorkload(o Options) (workload.Config, bt.Params) {
+	w := o.Workload
+	w.Days = 7
+	if o.Quick {
+		w.Users = 220
+		w.Keywords = 180
+		w.SearchesPerUserDay = 12
+		w.ImpressionsPerUserDay = 8
+	}
+	p := o.Params
+	p.TrainPeriod = temporal.Day
+	if p.D <= 0 || p.D >= temporal.Day {
+		p.D = 5 * temporal.Minute
+	}
+	return w, p
+}
+
+// Refresh runs the incremental-maintenance drill: the BT pipeline
+// slides over a 7-day log one day at a time, once on the delta path
+// (mergeable summaries, frozen-window model cache) and once as a full
+// recompute of all history, asserting after every day that both leave
+// byte-identical state (RefreshState.SummaryBytes). A third refresher
+// runs in auto mode so the table also shows what the cost chooser —
+// calibrated from the recorded stage timings — actually picks.
+func Refresh(c *Context) (*Table, error) {
+	w, p := refreshWorkload(c.Opt)
+	data := workload.Generate(w)
+
+	delta := bt.NewRefresher(p, w, bt.RefreshOptions{Mode: bt.ModeDelta})
+	full := bt.NewRefresher(p, w, bt.RefreshOptions{Mode: bt.ModeFull, RetainHistory: true})
+	auto := bt.NewRefresher(p, w, bt.RefreshOptions{Mode: bt.ModeAuto, RetainHistory: true})
+
+	t := &Table{
+		Title:  "incremental refresh: delta vs full recompute over a 7-day sliding window",
+		Header: []string{"day", "raw rows", "delta", "full", "speedup", "chooser", "state", "equal"},
+	}
+	var totDelta, totFull time.Duration
+	for day := 0; day < w.Days; day++ {
+		rows := data.DayRows(day)
+		dayEnd := temporal.Time(day+1) * temporal.Day
+
+		start := time.Now()
+		if err := delta.IngestDay(rows, dayEnd); err != nil {
+			return nil, fmt.Errorf("refresh drill: delta day %d: %w", day, err)
+		}
+		dDelta := time.Since(start)
+
+		start = time.Now()
+		if err := full.IngestDay(rows, dayEnd); err != nil {
+			return nil, fmt.Errorf("refresh drill: full day %d: %w", day, err)
+		}
+		dFull := time.Since(start)
+
+		if err := auto.IngestDay(rows, dayEnd); err != nil {
+			return nil, fmt.Errorf("refresh drill: auto day %d: %w", day, err)
+		}
+
+		db, err := delta.State.SummaryBytes()
+		if err != nil {
+			return nil, err
+		}
+		fb, err := full.State.SummaryBytes()
+		if err != nil {
+			return nil, err
+		}
+		ab, err := auto.State.SummaryBytes()
+		if err != nil {
+			return nil, err
+		}
+		equal := bytes.Equal(db, fb) && bytes.Equal(ab, fb)
+		if !equal {
+			return nil, fmt.Errorf("refresh drill: day %d state diverged (delta %d bytes, full %d, auto %d)", day, len(db), len(fb), len(ab))
+		}
+
+		choice := "full"
+		if auto.LastDelta {
+			choice = "delta"
+		}
+		totDelta += dDelta
+		totFull += dFull
+		t.AddRow(fi(int64(day)), fi(int64(len(rows))),
+			dDelta.Round(time.Millisecond).String(), dFull.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(dFull)/float64(dDelta)),
+			choice, fmt.Sprintf("%dKB", len(fb)/1024), "yes")
+	}
+
+	frozen := 0
+	for _, m := range delta.State.Models {
+		if m.Frozen {
+			frozen++
+		}
+	}
+	t.AddNote("all %d days byte-identical across delta, full, and auto paths", w.Days)
+	t.AddNote("cumulative: delta %s vs full %s — %.2fx; %d/%d window models frozen (trained once, reused)",
+		totDelta.Round(time.Millisecond), totFull.Round(time.Millisecond),
+		float64(totFull)/float64(totDelta), frozen, len(delta.State.Models))
+	return t, nil
+}

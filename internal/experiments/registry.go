@@ -54,6 +54,7 @@ var registry = []Experiment{
 	{"shuffle", "parallel map/shuffle path vs serial reference: speedup and determinism", Shuffle},
 	{"chaos", "fault-tolerant streaming: checkpoint/replay recovery under injected partition crashes", StreamingChaos},
 	{"spill", "out-of-core data plane: BotElim wall time and spill I/O vs memory budget", Spill},
+	{"refresh", "incremental maintenance: delta vs full recompute over a 7-day sliding window", Refresh},
 }
 
 // All returns every experiment in presentation order.

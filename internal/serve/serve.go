@@ -298,6 +298,33 @@ func (s *Server) run(killAfter int) (*Report, []temporal.Event, error) {
 	}
 
 	gen := workload.NewLoadGen(s.data, cfg.Load)
+	lastWave := cfg.Load.Start
+
+	// On resume, the recovered generation usually carries the source's
+	// committed input offset — the schedule index of the request that
+	// triggered its wave. The driver then *seeks*: the load generator
+	// skips straight past the committed prefix (same RNG draws, no row
+	// materialization, nothing fed) and ingestion restarts with the
+	// wave-triggering request — exactly the tail the dead process never
+	// durably committed. Generations written before offsets existed fall
+	// back to the legacy re-walk: the schedule is walked from its
+	// deterministic beginning, tracking the same wave-fire points but
+	// feeding nothing, until the fire at (or, after a generation
+	// fallback, past) the recovered wave.
+	var recWave temporal.Time
+	skipping := false
+	startIdx := 0
+	if rec != nil {
+		rep.Resumed = true
+		recWave = rec.Snap.Wave
+		if pos, ok := reduced.Position(); ok {
+			gen.Skip(int(pos))
+			startIdx = int(pos)
+			lastWave = recWave
+		} else {
+			skipping = true
+		}
+	}
 
 	// In paced mode a generator goroutine emits requests on the fixed
 	// open-loop schedule into a bounded queue; a full queue blocks it
@@ -310,8 +337,8 @@ func (s *Server) run(killAfter int) (*Report, []temporal.Event, error) {
 			defer close(intake)
 			start := time.Now()
 			gap := time.Duration(float64(time.Second) / cfg.Rate)
-			for i := 0; i < cfg.Requests; i++ {
-				sched := start.Add(time.Duration(i) * gap)
+			for i := startIdx; i < cfg.Requests; i++ {
+				sched := start.Add(time.Duration(i-startIdx) * gap)
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
@@ -334,22 +361,6 @@ func (s *Server) run(killAfter int) (*Report, []temporal.Event, error) {
 	}
 
 	start := time.Now()
-	lastWave := cfg.Load.Start
-
-	// On resume the schedule is walked from its deterministic beginning,
-	// tracking the same wave-fire points as the original run but feeding
-	// nothing, until the fire at (or, after a generation fallback, past)
-	// the recovered wave. That fire is not re-issued — the recovered
-	// state already includes it — and ingestion restarts with the request
-	// that triggered it, exactly the tail the dead process never durably
-	// committed.
-	var recWave temporal.Time
-	skipping := false
-	if rec != nil {
-		recWave = rec.Snap.Wave
-		skipping = true
-		rep.Resumed = true
-	}
 
 	processed, killed := 0, false
 	step := func(tr timedReq) error {
@@ -359,8 +370,14 @@ func (s *Server) run(killAfter int) (*Report, []temporal.Event, error) {
 				if t >= recWave {
 					skipping = false
 				}
-			} else if err := job.Advance(t); err != nil {
-				return err
+			} else {
+				// Publish the input offset the wave's generation will carry:
+				// the schedule index of the request triggering this wave —
+				// everything before it is admitted and about to be durable.
+				reduced.SetPosition(int64(tr.req.Seq))
+				if err := job.Advance(t); err != nil {
+					return err
+				}
 			}
 		}
 		if !skipping {
@@ -390,7 +407,7 @@ func (s *Server) run(killAfter int) (*Report, []temporal.Event, error) {
 			}()
 		}
 	} else {
-		for i := 0; i < cfg.Requests; i++ {
+		for i := startIdx; i < cfg.Requests; i++ {
 			if feedErr = step(timedReq{req: gen.Next(), sched: time.Now()}); feedErr != nil {
 				break
 			}

@@ -35,6 +35,43 @@ func TwoProportionZ(clicksWith, imprWith, clicksWithout, imprWithout int64) (z f
 	return (pk - pk2) / math.Sqrt(v), true
 }
 
+// ClickCounts is the mergeable sufficient statistic of the BT count
+// stages: clicks and non-clicks observed for one key within one training
+// window. Two partitions of the same window merge by addition, and the
+// z-test over the merged counts equals the z-test over the union of the
+// underlying observations — the algebraic exactness the incremental
+// refresh path relies on.
+type ClickCounts struct {
+	Clicks int64
+	Non    int64
+}
+
+// Add tallies one observation.
+func (c *ClickCounts) Add(clicked bool) {
+	if clicked {
+		c.Clicks++
+	} else {
+		c.Non++
+	}
+}
+
+// Merge returns the sum of two partial counts.
+func (c ClickCounts) Merge(o ClickCounts) ClickCounts {
+	return ClickCounts{Clicks: c.Clicks + o.Clicks, Non: c.Non + o.Non}
+}
+
+// Total returns the number of observations behind the statistic.
+func (c ClickCounts) Total() int64 { return c.Clicks + c.Non }
+
+// ZFromSummary computes the pipeline's two-proportion z-test from merged
+// sufficient statistics: kw counts observations with the keyword in the
+// profile, total counts every observation of the ad. The arithmetic is
+// exactly TwoProportionZ over (CK, CK+NK, CT−CK, (CT+NT)−(CK+NK)), the
+// derivation bt.FeatureSelectPlan applies to its joined count columns.
+func ZFromSummary(kw, total ClickCounts) (z float64, ok bool) {
+	return TwoProportionZ(kw.Clicks, kw.Total(), total.Clicks-kw.Clicks, total.Total()-kw.Total())
+}
+
 // NormalCDF is Φ(x), the standard normal CDF.
 func NormalCDF(x float64) float64 {
 	return 0.5 * math.Erfc(-x/math.Sqrt2)

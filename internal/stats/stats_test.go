@@ -142,6 +142,47 @@ func TestPropertySigmoidSymmetry(t *testing.T) {
 	}
 }
 
+func TestClickCountsMergeExact(t *testing.T) {
+	// Partitioned tallies merged must give the same z as one global tally
+	// — bit-for-bit, since the merged counts are identical integers.
+	err := quick.Check(func(obs []bool, cut uint8) bool {
+		var whole, left, right ClickCounts
+		split := 0
+		if n := len(obs); n > 0 {
+			split = int(cut) % (n + 1)
+		}
+		for i, clicked := range obs {
+			whole.Add(clicked)
+			if i < split {
+				left.Add(clicked)
+			} else {
+				right.Add(clicked)
+			}
+		}
+		merged := left.Merge(right)
+		if merged != whole {
+			return false
+		}
+		total := ClickCounts{Clicks: whole.Clicks + 40, Non: whole.Non + 400}
+		zw, okw := ZFromSummary(whole, total)
+		zm, okm := ZFromSummary(merged, total)
+		return okw == okm && zw == zm
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZFromSummaryMatchesTwoProportionZ(t *testing.T) {
+	kw := ClickCounts{Clicks: 20, Non: 80}
+	total := ClickCounts{Clicks: 120, Non: 980}
+	z, ok := ZFromSummary(kw, total)
+	want, wok := TwoProportionZ(20, 100, 100, 1000)
+	if ok != wok || z != want {
+		t.Errorf("ZFromSummary = (%v, %v), want (%v, %v)", z, ok, want, wok)
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("empty mean")

@@ -191,7 +191,21 @@ func (st *userState) evict(t, tau temporal.Time) {
 }
 
 // Next produces the next arrival in the open-loop schedule.
-func (g *LoadGen) Next() Request {
+func (g *LoadGen) Next() Request { return g.next(true) }
+
+// Skip advances the generator past the next n arrivals without
+// materializing their feature rows or counting them in the running
+// tallies. The RNG draw sequence is identical to n Next calls, so a
+// skipped-then-resumed generator continues the exact same schedule —
+// the seek primitive behind durable serve resume, where the committed
+// input offset tells the restarted driver how far the dead process got.
+func (g *LoadGen) Skip(n int) {
+	for i := 0; i < n; i++ {
+		g.next(false)
+	}
+}
+
+func (g *LoadGen) next(emit bool) Request {
 	t := g.cfg.Start + temporal.Time(g.seq)*g.cfg.TickEvery
 	uid := int64(g.uzipf.Uint64())
 	req := Request{Seq: g.seq, Time: t, UserId: uid}
@@ -211,7 +225,9 @@ func (g *LoadGen) Next() Request {
 		st.hist = append(st.hist, searchRec{t: t, kw: kw})
 		req.Search = true
 		req.Keyword = kw
-		g.Searches++
+		if emit {
+			g.Searches++
+		}
 		return req
 	}
 
@@ -239,6 +255,9 @@ func (g *LoadGen) Next() Request {
 	}
 	if st.rng.Float64() < p {
 		req.Clicked = 1
+	}
+	if !emit {
+		return req
 	}
 	for _, kw := range order {
 		req.Rows = append(req.Rows, temporal.Row{

@@ -272,7 +272,28 @@ func Generate(cfg Config) *Dataset {
 			if hi <= lo {
 				hi = cfg.Keywords
 			}
+			// Exhaustion guard: with a small vocabulary the classes can
+			// collectively need more keywords than the band holds. Widen to
+			// the full tail, then give up rather than redraw forever. The
+			// checks burn no RNG draws, so feasible configurations generate
+			// the exact same dataset as before.
+			free := func() int {
+				n := 0
+				for k := lo; k < hi; k++ {
+					if !taken[int64(k)] {
+						n++
+					}
+				}
+				return n
+			}
 			for len(*into) < n {
+				if free() == 0 {
+					if hi < cfg.Keywords {
+						hi = cfg.Keywords
+						continue
+					}
+					break // vocabulary exhausted: the class gets fewer keywords
+				}
 				k := int64(lo + root.Intn(hi-lo))
 				if !taken[k] {
 					taken[k] = true
@@ -482,6 +503,18 @@ func (d *Dataset) SplitHalves() (train, test []temporal.Row) {
 	mid := d.Horizon / 2
 	i := sort.Search(len(d.Rows), func(i int) bool { return d.Rows[i][0].AsInt() >= mid })
 	return d.Rows[:i], d.Rows[i:]
+}
+
+// DayRows returns the rows of one calendar day ([day·Day, (day+1)·Day)),
+// sliced out of the Time-sorted log — the per-day ingest unit of the
+// incremental BT refresher. The slice aliases d.Rows; treat it as
+// immutable.
+func (d *Dataset) DayRows(day int) []temporal.Row {
+	lo := temporal.Time(day) * temporal.Day
+	hi := lo + temporal.Day
+	i := sort.Search(len(d.Rows), func(i int) bool { return d.Rows[i][0].AsInt() >= int64(lo) })
+	j := sort.Search(len(d.Rows), func(j int) bool { return d.Rows[j][0].AsInt() >= int64(hi) })
+	return d.Rows[i:j]
 }
 
 // AdByName finds an ad class by its name.
